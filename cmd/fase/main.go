@@ -1,0 +1,103 @@
+// Command fase runs the FASE methodology against a simulated computer
+// system and reports the activity-modulated carriers it finds.
+//
+// Usage:
+//
+//	fase [-system NAME] [-pair X/Y] [-f1 Hz] [-f2 Hz] [-fres Hz]
+//	     [-falt Hz] [-fdelta Hz] [-seed N] [-classify] [-environment=true]
+//
+// Examples:
+//
+//	fase -system i7-desktop -pair LDM/LDL1 -f1 100e3 -f2 4e6
+//	fase -system turion-laptop -classify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"fase/internal/activity"
+	"fase/internal/core"
+	"fase/internal/machine"
+)
+
+func main() {
+	sysName := flag.String("system", "i7-desktop", "system model to measure (see -list)")
+	list := flag.Bool("list", false, "list available system models and exit")
+	pair := flag.String("pair", "LDM/LDL1", "X/Y activity pair for the alternation micro-benchmark")
+	f1 := flag.Float64("f1", 100e3, "scan start frequency, Hz")
+	f2 := flag.Float64("f2", 4e6, "scan stop frequency, Hz")
+	fres := flag.Float64("fres", 50, "resolution bandwidth, Hz")
+	falt := flag.Float64("falt", 43.3e3, "first alternation frequency, Hz")
+	fdelta := flag.Float64("fdelta", 0.5e3, "alternation frequency step, Hz")
+	seed := flag.Int64("seed", 1, "random seed")
+	env := flag.Bool("environment", true, "include the metropolitan RF environment")
+	classify := flag.Bool("classify", false, "also run the on-chip pair (LDL2/LDL1) and classify carriers")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0)
+		for n := range machine.Registry() {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			sys, _ := machine.Lookup(n)
+			fmt.Printf("%-15s %s (%d emitters)\n", n, sys.Name, len(sys.Emitters))
+		}
+		return
+	}
+	sys, err := machine.Lookup(*sysName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	x, y, err := activity.ParsePair(*pair)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	runner := &core.Runner{Scene: sys.Scene(*seed, *env)}
+	campaign := core.Campaign{
+		F1: *f1, F2: *f2, Fres: *fres,
+		FAlt1: *falt, FDelta: *fdelta,
+		X: x, Y: y, Seed: *seed,
+	}
+	fmt.Printf("FASE scan of %s, %v/%v, %.3g–%.3g MHz at %.0f Hz RBW\n",
+		sys.Name, x, y, *f1/1e6, *f2/1e6, *fres)
+	res := runner.Run(campaign)
+	printResult(res)
+
+	if *classify {
+		campaign2 := campaign
+		campaign2.X, campaign2.Y = activity.LDL2, activity.LDL1
+		fmt.Printf("\nClassification pass (%v/%v):\n", campaign2.X, campaign2.Y)
+		res2 := runner.Run(campaign2)
+		printResult(res2)
+		fmt.Println("\nCarrier classification:")
+		for _, cc := range core.Classify(res, res2, 1e3) {
+			fmt.Printf("  %10.2f kHz  %-16s (pairs: %s)\n",
+				cc.Freq/1e3, cc.Class, strings.Join(cc.Pairs, ", "))
+		}
+	}
+}
+
+func printResult(res *core.Result) {
+	if len(res.Detections) == 0 {
+		fmt.Println("  no activity-modulated carriers detected")
+		return
+	}
+	fmt.Printf("  %-12s %-12s %-10s %-10s %s\n", "carrier kHz", "score", "mag dBm", "depth dB", "harmonics")
+	for _, d := range res.Detections {
+		fmt.Printf("  %-12.2f %-12.1f %-10.1f %-10.1f %v\n",
+			d.Freq/1e3, d.Score, d.MagnitudeDBm, d.DepthDB, d.Harmonics)
+	}
+	fmt.Println("  harmonic sets:")
+	for _, set := range core.GroupHarmonics(res.Detections, 0.004) {
+		fmt.Printf("    fundamental %10.2f kHz, %d member(s), orders %v\n",
+			set.Fundamental/1e3, len(set.Members), set.Orders)
+	}
+}

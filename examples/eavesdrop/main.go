@@ -1,0 +1,72 @@
+// Eavesdrop: the attack FASE enables, and the mitigation the paper
+// proposes — end to end.
+//
+// A victim program's secret-dependent memory activity (think
+// square-and-multiply with key-dependent table lookups) amplitude-
+// modulates the DIMM regulator's 315 kHz carrier. The attacker, having
+// located that carrier with FASE, tunes a receiver to it, demodulates,
+// and reads the secret bits at a distance (§1, §4.1). Randomizing the
+// DRAM refresh interval (§4.2's proposed fix) kills the refresh channel
+// but, as the paper implies, does nothing for regulator leakage — each
+// channel needs its own "surgical" mitigation (§6).
+//
+//	go run ./examples/eavesdrop
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fase"
+)
+
+func main() {
+	sys, err := fase.LookupSystem("i7-desktop")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scene := sys.Scene(1, true)
+
+	// Step 1: FASE locates the activity-modulated carriers (abbreviated:
+	// we scan just the regulator band here; see examples/quickstart for
+	// the full campaign).
+	runner := fase.NewRunner(scene)
+	res := runner.Run(fase.Campaign{
+		F1: 250e3, F2: 550e3, Fres: 100,
+		FAlt1: 43.3e3, FDelta: 1e3,
+		X: fase.LDM, Y: fase.LDL1, Seed: 11,
+	})
+	fmt.Println("step 1 — FASE finds the leaking carriers:")
+	for _, d := range res.Detections {
+		fmt.Printf("  %8.1f kHz  score %8.1f\n", d.Freq/1e3, d.Score)
+	}
+
+	// Step 2: the victim runs a 256-bit secret-dependent access pattern;
+	// the attacker demodulates the strongest carrier found.
+	r := rand.New(rand.NewSource(99))
+	secret := make([]byte, 256)
+	for i := range secret {
+		secret[i] = byte(r.Intn(2))
+	}
+	carrier := res.Detections[0].Freq // 315 kHz
+	rx := &fase.Receiver{Carrier: carrier, Bandwidth: 15e3}
+	lk := fase.QuantifyLeakage(rx, scene, secret, fase.LDM, fase.LDL1, 250e-6, 12)
+	fmt.Printf("\nstep 2 — eavesdropping through %.1f kHz (4 kbit/s):\n", carrier/1e3)
+	fmt.Printf("  bit error rate %.3f, class SNR %.1f dB, capacity %.2f bits/bit → %.0f bit/s leaked\n",
+		lk.BER, lk.SNRdB, lk.BitsPerSymbol, lk.BitsPerSymbol/250e-6)
+
+	// Step 3: the same attack through the refresh comb, before and after
+	// the paper's proposed refresh randomization.
+	fmt.Println("\nstep 3 — refresh channel, before/after interval randomization (§4.2):")
+	for _, dither := range []float64{0, 0.3} {
+		s2, _ := fase.LookupSystem("i7-desktop")
+		s2.Refresh.IntervalDither = dither
+		sc2 := s2.Scene(1, true)
+		rx2 := &fase.Receiver{Carrier: 512e3, Bandwidth: 15e3}
+		lk2 := fase.QuantifyLeakage(rx2, sc2, secret, fase.LDM, fase.LDL1, 1e-3, 13)
+		fmt.Printf("  dither ±%2.0f%% tREFI: BER %.3f, capacity %.2f bits/bit\n",
+			dither*100, lk2.BER, lk2.BitsPerSymbol)
+	}
+	fmt.Println("\nconclusion: FASE tells the defender exactly which signals to fix, and the fix is verifiable")
+}

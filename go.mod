@@ -1,0 +1,3 @@
+module fase
+
+go 1.22

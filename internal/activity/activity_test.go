@@ -1,0 +1,180 @@
+package activity
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{Idle: "IDLE", LDM: "LDM", STM: "STM", LDL1: "LDL1",
+		LDL2: "LDL2", ADD: "ADD", SUB: "SUB", MUL: "MUL", DIV: "DIV"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := Idle; k <= DIV; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	// Case-insensitive and whitespace-tolerant.
+	if k, err := ParseKind(" ldm "); err != nil || k != LDM {
+		t.Errorf("lenient parse failed: %v %v", k, err)
+	}
+	if _, err := ParseKind("LDL3"); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestParsePair(t *testing.T) {
+	x, y, err := ParsePair("LDM/LDL1")
+	if err != nil || x != LDM || y != LDL1 {
+		t.Errorf("ParsePair: %v %v %v", x, y, err)
+	}
+	for _, bad := range []string{"LDM", "LDM/LDL1/ADD", "FOO/LDL1", "LDM/BAR"} {
+		if _, _, err := ParsePair(bad); err == nil {
+			t.Errorf("ParsePair(%q) should error", bad)
+		}
+	}
+}
+
+func TestLoadRelationships(t *testing.T) {
+	ldm, ldl1, ldl2 := LoadOf(LDM), LoadOf(LDL1), LoadOf(LDL2)
+	// The paper's key calibration: LDM vs LDL1 differ on memory domains
+	// but not the core; LDL2 vs LDL1 differ on the core only.
+	if ldm.Core != ldl1.Core {
+		t.Error("LDM and LDL1 must load the core equally (same loop code)")
+	}
+	if ldm.DRAM-ldl1.DRAM < 0.5 || ldm.MemCtl-ldl1.MemCtl < 0.5 {
+		t.Error("LDM must load memory domains much more than LDL1")
+	}
+	if ldl2.Core-ldl1.Core < 0.1 {
+		t.Error("LDL2 must load the core more than LDL1")
+	}
+	if ldl2.DRAM != ldl1.DRAM || ldl2.MemCtl != ldl1.MemCtl {
+		t.Error("LDL2 and LDL1 must load memory domains equally")
+	}
+}
+
+func TestAllLoadsInRange(t *testing.T) {
+	for k := Idle; k <= DIV; k++ {
+		l := LoadOf(k)
+		for _, v := range []float64{l.Core, l.MemCtl, l.DRAM} {
+			if v < 0 || v > 1 {
+				t.Errorf("%v load %+v out of range", k, l)
+			}
+		}
+	}
+}
+
+func TestDomainOf(t *testing.T) {
+	l := Load{Core: 0.1, MemCtl: 0.2, DRAM: 0.3}
+	if DomainNone.Of(l) != 0 || DomainCore.Of(l) != 0.1 || DomainMemCtl.Of(l) != 0.2 || DomainDRAM.Of(l) != 0.3 {
+		t.Error("Domain.Of wrong")
+	}
+	names := map[Domain]string{DomainNone: "none", DomainCore: "core", DomainMemCtl: "memctl", DomainDRAM: "dram"}
+	for d, s := range names {
+		if d.String() != s {
+			t.Errorf("%v name wrong", d)
+		}
+	}
+	mustPanic(t, func() { Domain(9).Of(l) })
+	mustPanic(t, func() { LoadOf(Kind(42)) })
+}
+
+func TestTraceAt(t *testing.T) {
+	tr := &Trace{Segments: []Segment{
+		{Start: 0, Load: Load{Core: 0.1}},
+		{Start: 1, Load: Load{Core: 0.2}},
+		{Start: 2, Load: Load{Core: 0.3}},
+	}}
+	cases := map[float64]float64{-1: 0.1, 0: 0.1, 0.5: 0.1, 1: 0.2, 1.99: 0.2, 2: 0.3, 100: 0.3}
+	for at, want := range cases {
+		if got := tr.At(at).Core; got != want {
+			t.Errorf("At(%g).Core = %g, want %g", at, got, want)
+		}
+	}
+	if tr.End() != 2 {
+		t.Errorf("End = %g", tr.End())
+	}
+	if (&Trace{}).At(5) != (Load{}) {
+		t.Error("empty trace should return zero load")
+	}
+}
+
+func TestCursorMatchesAt(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		tr := &Trace{}
+		t0 := 0.0
+		for i := 0; i < n; i++ {
+			tr.Segments = append(tr.Segments, Segment{Start: t0, Load: Load{Core: r.Float64()}})
+			t0 += r.Float64()
+		}
+		// Monotone queries through the cursor must match binary search.
+		c := tr.Cursor()
+		times := make([]float64, 100)
+		for i := range times {
+			times[i] = r.Float64() * (t0 + 1)
+		}
+		sort.Float64s(times)
+		for _, q := range times {
+			if c.At(q) != tr.At(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCursorEmptyTrace(t *testing.T) {
+	c := (&Trace{}).Cursor()
+	if c.At(3) != (Load{}) {
+		t.Error("empty trace cursor should return zero load")
+	}
+}
+
+func TestNewConstant(t *testing.T) {
+	tr := NewConstant(Load{DRAM: 1})
+	if tr.At(0).DRAM != 1 || tr.At(1e9).DRAM != 1 {
+		t.Error("constant trace wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Trace{Segments: []Segment{{Start: 1}, {Start: 0}}}
+	if bad.Validate() == nil {
+		t.Error("unsorted trace should fail validation")
+	}
+	bad2 := &Trace{Segments: []Segment{{Start: 0, Load: Load{Core: 2}}}}
+	if bad2.Validate() == nil {
+		t.Error("out-of-range load should fail validation")
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

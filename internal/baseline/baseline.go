@@ -1,0 +1,174 @@
+// Package baseline implements the comparison detectors the paper argues
+// against, to quantify FASE's advantage:
+//
+//   - SymmetricSideband is the "simplistic approach" of §2.3: scan a
+//     *single* spectrum for peak triplets (f−falt, f, f+falt). The paper
+//     predicts three failure modes: alternation harmonics 2·falt apart
+//     masquerading as carriers, side-bands buried by unrelated signals
+//     (false negatives), and unrelated peaks that happen to be ~2·falt
+//     apart (false positives).
+//
+//   - AMClassifier is a generic automatic-modulation-classification
+//     detector (§5, Dobre et al.): it flags every carrier that carries AM
+//     side-band energy, regardless of cause — so it reports broadcast
+//     stations and other communication signals that are irrelevant to the
+//     system activity of interest.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fase/internal/dsp/peaks"
+	"fase/internal/dsp/spectral"
+)
+
+// Candidate is a carrier frequency reported by a baseline detector.
+type Candidate struct {
+	Freq     float64
+	PowerDBm float64
+	// SidebandDB is the detected side-band level relative to the carrier.
+	SidebandDB float64
+}
+
+// SymmetricConfig tunes SymmetricSideband.
+type SymmetricConfig struct {
+	// FAlt is the alternation frequency whose side-bands are sought.
+	FAlt float64
+	// MinSNRdB is how far above the local noise floor a peak must rise.
+	// Zero means 8 dB.
+	MinSNRdB float64
+	// TolBins is the allowed mismatch when matching side-peaks. Zero
+	// means 4.
+	TolBins int
+}
+
+// SymmetricSideband scans one spectrum for carrier-like peaks flanked by
+// side-peaks at ±FAlt, the single-measurement heuristic FASE improves on.
+func SymmetricSideband(s *spectral.Spectrum, cfg SymmetricConfig) []Candidate {
+	if cfg.FAlt <= 0 {
+		panic(fmt.Sprintf("baseline: FAlt must be positive, got %g", cfg.FAlt))
+	}
+	if cfg.MinSNRdB == 0 {
+		cfg.MinSNRdB = 8
+	}
+	if cfg.TolBins == 0 {
+		cfg.TolBins = 4
+	}
+	floor := s.MedianPower()
+	minPeak := floor * math.Pow(10, cfg.MinSNRdB/10)
+	shift := int(math.Round(cfg.FAlt / s.Fres))
+	ps := peaks.Find(s.PmW, peaks.Options{MinValue: minPeak, MinDistance: cfg.TolBins + 1})
+	// Index peaks for side-peak lookup.
+	peakAt := make(map[int]float64, len(ps))
+	for _, p := range ps {
+		peakAt[p.Index] = p.Value
+	}
+	hasPeakNear := func(i int) bool {
+		for k := i - cfg.TolBins; k <= i+cfg.TolBins; k++ {
+			if _, ok := peakAt[k]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Candidate
+	for _, p := range ps {
+		if hasPeakNear(p.Index-shift) && hasPeakNear(p.Index+shift) {
+			side := math.Max(maxNear(s, p.Index-shift, cfg.TolBins), maxNear(s, p.Index+shift, cfg.TolBins))
+			out = append(out, Candidate{
+				Freq:       s.Freq(p.Index),
+				PowerDBm:   spectral.DBmFromMw(p.Value),
+				SidebandDB: spectral.DBmFromMw(side) - spectral.DBmFromMw(p.Value),
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Freq < out[b].Freq })
+	return out
+}
+
+func maxNear(s *spectral.Spectrum, i, tol int) float64 {
+	var best float64
+	for k := i - tol; k <= i+tol; k++ {
+		if k >= 0 && k < s.Bins() && s.PmW[k] > best {
+			best = s.PmW[k]
+		}
+	}
+	return best
+}
+
+// AMCConfig tunes AMClassifier.
+type AMCConfig struct {
+	// MinCarrierSNRdB is the carrier prominence over the floor required
+	// to consider a peak. Zero means 15 dB.
+	MinCarrierSNRdB float64
+	// AudioLow/AudioHigh bound the modulation side-band band to
+	// integrate, Hz from the carrier. Zeros mean 200 Hz and 10 kHz.
+	AudioLow, AudioHigh float64
+	// MinSidebandDB is the total side-band power relative to the carrier
+	// needed to call the carrier modulated. Zero means -35 dB.
+	MinSidebandDB float64
+}
+
+// AMClassifier flags every carrier in the spectrum that shows symmetric
+// modulation side-band energy — the communications-intelligence approach
+// that cannot distinguish activity-modulated emanations from broadcast
+// stations.
+func AMClassifier(s *spectral.Spectrum, cfg AMCConfig) []Candidate {
+	if cfg.MinCarrierSNRdB == 0 {
+		cfg.MinCarrierSNRdB = 15
+	}
+	if cfg.AudioLow == 0 {
+		cfg.AudioLow = 200
+	}
+	if cfg.AudioHigh == 0 {
+		cfg.AudioHigh = 10e3
+	}
+	if cfg.MinSidebandDB == 0 {
+		cfg.MinSidebandDB = -35
+	}
+	floor := s.MedianPower()
+	minPeak := floor * math.Pow(10, cfg.MinCarrierSNRdB/10)
+	minDist := int(math.Round(cfg.AudioHigh / s.Fres))
+	ps := peaks.Find(s.PmW, peaks.Options{MinValue: minPeak, MinDistance: minDist})
+	var out []Candidate
+	for _, p := range ps {
+		f := s.Freq(p.Index)
+		lo := bandPower(s, f-cfg.AudioHigh, f-cfg.AudioLow, floor)
+		hi := bandPower(s, f+cfg.AudioLow, f+cfg.AudioHigh, floor)
+		// Require clear energy on both sides (AM side-bands are
+		// symmetric): each side must exceed the floor-noise residual by a
+		// margin, and the two sides must be within 10 dB of each other.
+		sideBins := (cfg.AudioHigh - cfg.AudioLow) / s.Fres
+		minSide := 0.2 * floor * sideBins
+		if lo < minSide || hi < minSide || lo > 10*hi || hi > 10*lo {
+			continue
+		}
+		sideDB := spectral.DBmFromMw(lo+hi) - spectral.DBmFromMw(p.Value)
+		if sideDB >= cfg.MinSidebandDB {
+			out = append(out, Candidate{
+				Freq:       f,
+				PowerDBm:   spectral.DBmFromMw(p.Value),
+				SidebandDB: sideDB,
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Freq < out[b].Freq })
+	return out
+}
+
+// bandPower integrates power above the floor in [f1, f2]; the floor
+// contribution is subtracted so quiet bands report ~0.
+func bandPower(s *spectral.Spectrum, f1, f2, floor float64) float64 {
+	sub := s.Slice(f1, f2)
+	var tot float64
+	for _, p := range sub.PmW {
+		tot += p
+	}
+	tot -= floor * float64(sub.Bins())
+	if tot < 0 {
+		return 0
+	}
+	return tot
+}

@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fase/internal/dsp/spectral"
+)
+
+// makeSpectrum builds a synthetic spectrum with a noise floor and lines.
+func makeSpectrum(bins int, fres float64, lines map[int]float64, seed int64) *spectral.Spectrum {
+	r := rand.New(rand.NewSource(seed))
+	s := spectral.New(0, fres, bins)
+	floor := spectral.MwFromDBm(-150)
+	for k := range s.PmW {
+		s.PmW[k] = floor * (0.5 + r.Float64())
+	}
+	for k, dbm := range lines {
+		s.PmW[k] = spectral.MwFromDBm(dbm)
+	}
+	return s
+}
+
+func TestSymmetricSidebandFindsTriplet(t *testing.T) {
+	fres := 100.0
+	falt := 40e3 // 400 bins
+	lines := map[int]float64{
+		3000: -110, // carrier
+		2600: -130, // left side-band
+		3400: -131, // right side-band
+	}
+	s := makeSpectrum(8000, fres, lines, 1)
+	got := SymmetricSideband(s, SymmetricConfig{FAlt: falt})
+	if len(got) != 1 {
+		t.Fatalf("candidates: %+v", got)
+	}
+	if math.Abs(got[0].Freq-300e3) > fres {
+		t.Errorf("carrier at %g", got[0].Freq)
+	}
+	if math.Abs(got[0].SidebandDB-(-20)) > 2 {
+		t.Errorf("side-band level %g, want ~-20", got[0].SidebandDB)
+	}
+}
+
+func TestSymmetricSidebandFalsePositiveOnCoincidence(t *testing.T) {
+	// Three unrelated periodic signals that happen to be falt apart — the
+	// §2.3 failure mode FASE fixes. The baseline is fooled.
+	fres := 100.0
+	falt := 40e3
+	lines := map[int]float64{2600: -115, 3000: -112, 3400: -118}
+	s := makeSpectrum(8000, fres, lines, 2)
+	got := SymmetricSideband(s, SymmetricConfig{FAlt: falt})
+	if len(got) == 0 {
+		t.Error("baseline should be fooled by coincidental spacing (this is its documented failure mode)")
+	}
+}
+
+func TestSymmetricSidebandFalseNegativeWhenBuried(t *testing.T) {
+	// One side-band buried under noise: the triplet detector misses the
+	// carrier even though it is genuinely modulated.
+	fres := 100.0
+	falt := 40e3
+	lines := map[int]float64{
+		3000: -110,
+		3400: -131, // right side-band present
+		// left side-band absent (buried)
+	}
+	s := makeSpectrum(8000, fres, lines, 3)
+	got := SymmetricSideband(s, SymmetricConfig{FAlt: falt})
+	if len(got) != 0 {
+		t.Errorf("baseline should miss a carrier with one buried side-band: %+v", got)
+	}
+}
+
+func TestAMClassifierFlagsStation(t *testing.T) {
+	fres := 100.0
+	lines := map[int]float64{4000: -90}
+	// Audio side-bands ±1-3 kHz.
+	for _, off := range []int{10, 20, 30} {
+		lines[4000-off] = -115
+		lines[4000+off] = -115
+	}
+	s := makeSpectrum(8000, fres, lines, 4)
+	got := AMClassifier(s, AMCConfig{})
+	if len(got) != 1 {
+		t.Fatalf("candidates: %+v", got)
+	}
+	if math.Abs(got[0].Freq-400e3) > fres {
+		t.Errorf("station at %g", got[0].Freq)
+	}
+}
+
+func TestAMClassifierIgnoresBareCarrier(t *testing.T) {
+	s := makeSpectrum(8000, 100, map[int]float64{4000: -90}, 5)
+	if got := AMClassifier(s, AMCConfig{}); len(got) != 0 {
+		t.Errorf("bare carrier flagged: %+v", got)
+	}
+}
+
+func TestAMClassifierRequiresSymmetry(t *testing.T) {
+	// Side-band energy on one side only (e.g. an adjacent unrelated
+	// signal) must not be classified as AM.
+	lines := map[int]float64{4000: -90}
+	for _, off := range []int{10, 20, 30} {
+		lines[4000+off] = -112
+	}
+	s := makeSpectrum(8000, 100, lines, 6)
+	got := AMClassifier(s, AMCConfig{})
+	// One-sided energy integrates above the floor on both sides only via
+	// noise; the floor-subtracted low side should be ~0 and the carrier
+	// rejected.
+	if len(got) != 0 {
+		t.Errorf("one-sided energy flagged as AM: %+v", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := makeSpectrum(100, 100, nil, 7)
+	mustPanic(t, func() { SymmetricSideband(s, SymmetricConfig{FAlt: 0}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

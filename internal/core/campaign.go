@@ -1,0 +1,503 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"fase/internal/activity"
+	"fase/internal/dsp/peaks"
+	"fase/internal/dsp/spectral"
+	"fase/internal/emsim"
+	"fase/internal/microbench"
+	"fase/internal/specan"
+)
+
+// Campaign describes one FASE measurement campaign: a frequency range, a
+// resolution bandwidth, and a ladder of alternation frequencies
+// f_alt1, f_alt1+f_Δ, …, as in Figure 10.
+type Campaign struct {
+	// F1, F2 bound the scanned frequency range, Hz.
+	F1, F2 float64
+	// Fres is the spectrum resolution (Figure 10's f_res).
+	Fres float64
+	// FAlt1 is the first alternation frequency; FDelta the step between
+	// successive measurements.
+	FAlt1, FDelta float64
+	// NumAlts is the number of alternation frequencies (the paper uses
+	// 5). Zero means 5.
+	NumAlts int
+	// Harmonics to score; nil means DefaultHarmonics (±1..±5).
+	Harmonics []int
+	// Averages per spectrum; zero means 4 (§3).
+	Averages int
+	// MinScore is the detection threshold on the heuristic output; zero
+	// means 30.
+	MinScore float64
+	// SmoothBins is the moving-average width (bins) applied to spectra
+	// before scoring, matched to the side-band linewidth. Zero means 9.
+	SmoothBins int
+	// MergeBins is the radius (bins) within which detections from
+	// different harmonics merge into one carrier. Zero means 24.
+	MergeBins int
+	// MinElevated is the number of sub-scores that must individually
+	// exceed 2× at a detection (see ScoreDetail). Zero means a majority
+	// (NumAlts/2 + 1); negative disables the gate.
+	MinElevated int
+	// X, Y is the activity pair of the alternation micro-benchmark.
+	X, Y activity.Kind
+	// Jitter models the micro-benchmark's timing variation; the zero
+	// value selects microbench.DefaultJitter.
+	Jitter *microbench.Jitter
+	// Seed drives all randomness in the campaign.
+	Seed int64
+}
+
+func (c Campaign) withDefaults() Campaign {
+	if c.NumAlts == 0 {
+		c.NumAlts = 5
+	}
+	if c.Harmonics == nil {
+		c.Harmonics = DefaultHarmonics()
+	}
+	if c.Averages == 0 {
+		c.Averages = 4
+	}
+	if c.MinScore == 0 {
+		c.MinScore = 30
+	}
+	if c.SmoothBins == 0 {
+		// Matched smoothing must stay below the f_Δ spacing in bins, or
+		// one measurement's side-band bleeds into the others' bins at the
+		// same frequency and suppresses the score.
+		w := int(0.9 * c.FDelta / c.Fres)
+		if w > 15 {
+			w = 15
+		}
+		if w%2 == 0 {
+			w--
+		}
+		if w < 1 {
+			w = 1
+		}
+		c.SmoothBins = w
+	}
+	if c.MergeBins == 0 {
+		c.MergeBins = 24
+	}
+	if c.MinElevated == 0 {
+		c.MinElevated = c.NumAlts/2 + 1
+	}
+	if c.Jitter == nil {
+		j := microbench.DefaultJitter()
+		c.Jitter = &j
+	}
+	if c.FAlt1 <= 0 || c.FDelta <= 0 {
+		panic(fmt.Sprintf("core: campaign needs positive FAlt1/FDelta, got %g/%g", c.FAlt1, c.FDelta))
+	}
+	if c.NumAlts < 2 {
+		panic(fmt.Sprintf("core: campaign needs at least 2 alternation frequencies, got %d", c.NumAlts))
+	}
+	return c
+}
+
+// FAlts returns the campaign's alternation-frequency ladder.
+func (c Campaign) FAlts() []float64 {
+	n := c.NumAlts
+	if n == 0 {
+		n = 5
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = c.FAlt1 + float64(i)*c.FDelta
+	}
+	return out
+}
+
+// PaperCampaigns returns the three measurement campaigns of Figure 10
+// with the given activity pair. The 0–4 MHz campaign starts at 100 kHz
+// here: the paper's antenna (AOR LA400) rolls off below the long-wave
+// band, and bins below f_alt cannot host side-bands anyway.
+func PaperCampaigns(x, y activity.Kind) []Campaign {
+	return []Campaign{
+		{F1: 0.1e6, F2: 4e6, Fres: 50, FAlt1: 43.3e3, FDelta: 0.5e3, X: x, Y: y},
+		{F1: 4e6, F2: 120e6, Fres: 500, FAlt1: 43.3e3, FDelta: 5e3, X: x, Y: y},
+		{F1: 120e6, F2: 1200e6, Fres: 500, FAlt1: 1.8e6, FDelta: 100e3, X: x, Y: y},
+	}
+}
+
+// Measurement is one recorded spectrum of a campaign.
+type Measurement struct {
+	FAlt     float64
+	Spectrum *spectral.Spectrum
+}
+
+// Detection is one carrier FASE identified.
+type Detection struct {
+	// Freq is the computed carrier frequency.
+	Freq float64
+	// Score is the strongest heuristic value across harmonics.
+	Score float64
+	// BestHarmonic is the harmonic achieving Score.
+	BestHarmonic int
+	// Harmonics lists every harmonic whose score exceeded the threshold
+	// at this carrier (redundant confirmations, §2.3).
+	Harmonics []int
+	// MagnitudeDBm is the carrier's spectral magnitude (max across the
+	// campaign's measurements at Freq).
+	MagnitudeDBm float64
+	// DepthDB quantifies modulation strength: first-harmonic side-band
+	// power relative to the carrier, in dB (more negative = shallower).
+	DepthDB float64
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Campaign     Campaign
+	Measurements []Measurement
+	// Scores maps harmonic → heuristic trace over the spectrum grid.
+	Scores map[int][]float64
+	// Elevated maps harmonic → per-bin count of sub-scores above 2×
+	// (ScoreDetail), the ghost-rejection gate.
+	Elevated map[int][]int
+	// Detections, sorted by frequency.
+	Detections []Detection
+}
+
+// Grid returns the frequency of score bin k.
+func (r *Result) Grid(k int) float64 {
+	return r.Measurements[0].Spectrum.Freq(k)
+}
+
+// Runner executes campaigns against a scene.
+type Runner struct {
+	Scene *emsim.Scene
+	// NearField/NearFieldGainDB select the localization probe model.
+	NearField       bool
+	NearFieldGainDB float64
+}
+
+// Run executes the campaign: one sweep per alternation frequency with the
+// micro-benchmark generating that alternation, heuristic scoring for
+// every harmonic, and peak detection to produce carrier detections.
+func (r *Runner) Run(c Campaign) *Result {
+	c = c.withDefaults()
+	if r.Scene == nil {
+		panic("core: Runner needs a Scene")
+	}
+	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages})
+	res := &Result{Campaign: c}
+	falts := c.FAlts()
+	// The per-f_alt measurements are independent (each has its own seeds
+	// and activity trace), so they run concurrently. Results are written
+	// by index, keeping the output identical to a sequential run.
+	res.Measurements = make([]Measurement, len(falts))
+	var wg sync.WaitGroup
+	for i, fa := range falts {
+		wg.Add(1)
+		go func(i int, fa float64) {
+			defer wg.Done()
+			tr := microbench.Generate(microbench.Config{
+				X: c.X, Y: c.Y, FAlt: fa, Jitter: *c.Jitter,
+				Seed: c.Seed + int64(i)*104729,
+			}, an.TotalDuration(c.F1, c.F2)+0.05)
+			sp := an.Sweep(specan.Request{
+				Scene: r.Scene, F1: c.F1, F2: c.F2, Activity: tr,
+				Seed:      c.Seed + int64(i)*15485863,
+				NearField: r.NearField, NearFieldGainDB: r.NearFieldGainDB,
+			})
+			res.Measurements[i] = Measurement{FAlt: fa, Spectrum: sp}
+		}(i, fa)
+	}
+	wg.Wait()
+	spectra := make([]*spectral.Spectrum, len(res.Measurements))
+	smoothed := make([]*spectral.Spectrum, len(res.Measurements))
+	for i, m := range res.Measurements {
+		spectra[i] = m.Spectrum
+		smoothed[i] = SmoothSpectrum(m.Spectrum, c.SmoothBins)
+	}
+	res.Scores = make(map[int][]float64, len(c.Harmonics))
+	res.Elevated = make(map[int][]int, len(c.Harmonics))
+	for _, h := range c.Harmonics {
+		res.Scores[h], res.Elevated[h] = ScoreDetail(smoothed, falts, h, 2)
+	}
+	res.Detections = detect(res, spectra, smoothed, falts)
+	return res
+}
+
+// staticStrongBins marks bins occupied by a strong line in *every*
+// measurement. Genuine side-bands move with f_alt, so their
+// min-across-measurements stays at the noise floor; a static carrier or
+// interferer keeps all measurements high. Probes that land on such bins
+// produce sub-score fluctuations from the line's realization-to-
+// realization shape variance — the flank-ghost mechanism — rather than
+// evidence of modulation.
+func staticStrongBins(smoothed []*spectral.Spectrum, marginDB float64) []bool {
+	bins := smoothed[0].Bins()
+	out := make([]bool, bins)
+	floor := smoothed[0].MedianPower()
+	thresh := floor * math.Pow(10, marginDB/10)
+	for k := 0; k < bins; k++ {
+		minv := smoothed[0].PmW[k]
+		for _, s := range smoothed[1:] {
+			if s.PmW[k] < minv {
+				minv = s.PmW[k]
+			}
+		}
+		out[k] = minv > thresh
+	}
+	return out
+}
+
+// detect converts heuristic traces into merged carrier detections.
+func detect(res *Result, spectra, smoothed []*spectral.Spectrum, falts []float64) []Detection {
+	c := res.Campaign
+	static := staticStrongBins(smoothed, 12)
+	bins := len(static)
+	type cand struct {
+		bin      int
+		score    float64
+		harmonic int
+	}
+	var cands []cand
+	for _, h := range c.Harmonics {
+		trace := res.Scores[h]
+		elev := res.Elevated[h]
+		shifts := make([]int, len(falts))
+		for i, fa := range falts {
+			shifts[i] = int(math.Round(float64(h) * fa / c.Fres))
+		}
+		for _, p := range peaks.Find(trace, peaks.Options{
+			MinValue:    c.MinScore,
+			MinDistance: c.MergeBins,
+		}) {
+			if c.MinElevated > 0 && maxIntAround(elev, p.Index, 2) < c.MinElevated {
+				continue // ghost: only a minority of sub-scores elevated
+			}
+			// Flank-ghost gate: if a majority of this candidate's probe
+			// positions sit on static strong lines, the score came from
+			// line-shape variance, not from moving side-bands.
+			onStatic := 0
+			for _, sh := range shifts {
+				m := p.Index + sh
+				hit := false
+				for k := m - 2; k <= m+2; k++ {
+					if k >= 0 && k < bins && static[k] {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					onStatic++
+				}
+			}
+			if c.MinElevated > 0 && onStatic >= c.MinElevated {
+				continue
+			}
+			cands = append(cands, cand{bin: p.Index, score: p.Value, harmonic: h})
+		}
+	}
+	// Merge candidates within c.MergeBins of each other; the
+	// highest score wins, other harmonics become confirmations.
+	sort.Slice(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+	var merged []Detection
+	taken := make([]int, 0, len(cands))
+	for _, cd := range cands {
+		idx := -1
+		for mi, tb := range taken {
+			if abs(cd.bin-tb) <= c.MergeBins {
+				idx = mi
+				break
+			}
+		}
+		if idx >= 0 {
+			if !containsInt(merged[idx].Harmonics, cd.harmonic) {
+				merged[idx].Harmonics = append(merged[idx].Harmonics, cd.harmonic)
+			}
+			continue
+		}
+		d := Detection{
+			Freq:         res.Grid(cd.bin),
+			Score:        cd.score,
+			BestHarmonic: cd.harmonic,
+			Harmonics:    []int{cd.harmonic},
+		}
+		d.MagnitudeDBm, d.DepthDB = measureCarrier(spectra, falts, cd.bin, c.MergeBins)
+		merged = append(merged, d)
+		taken = append(taken, cd.bin)
+	}
+	merged = filterArtifacts(merged, c, falts)
+	sort.Slice(merged, func(a, b int) bool { return merged[a].Freq < merged[b].Freq })
+	return merged
+}
+
+// maxDepthDB rejects detections whose "side-bands" dwarf their carrier.
+// Amplitude modulation cannot put more power in a side-band than in the
+// carrier (full-depth AM puts half); a large positive depth means the
+// heuristic latched onto the flank of a *different* strong line at an
+// falt offset. +6 dB leaves room for nearly-full-depth modulation of weak
+// lines (memory refresh) measured against noisy carrier bins.
+const maxDepthDB = 6
+
+// filterArtifacts drops two classes of automation artifacts the paper's
+// visual inspection would discard:
+//
+//  1. Detections seen only by a single higher harmonic (|h| >= 2) at
+//     modest score. For |h| >= 2 the probe positions h·falt_i disperse by
+//     h·f_Δ, so a static narrow line whose shape varies slightly between
+//     measurements can light up one sub-score; genuine carriers are
+//     corroborated by a second harmonic or by an overwhelming score.
+//  2. Ghosts at m·falt offsets from a much stronger detection: around a
+//     strong carrier, the shifted probes sample the carrier's own flanks,
+//     whose realization-to-realization variation can score above
+//     threshold. A detection ≥20× weaker than a neighbour at an m·falt
+//     spacing is attributed to that neighbour.
+//
+// merged must be sorted by descending score (detect emits it that way).
+func filterArtifacts(merged []Detection, c Campaign, falts []float64) []Detection {
+	const corroboration = 10 // score multiple excusing a lone high harmonic
+	const ghostRatio = 20    // score multiple for ghost attribution
+	maxH := 1
+	for _, h := range c.Harmonics {
+		if abs(h) > maxH {
+			maxH = abs(h)
+		}
+	}
+	faltMin, faltMax := falts[0], falts[0]
+	for _, f := range falts {
+		faltMin = math.Min(faltMin, f)
+		faltMax = math.Max(faltMax, f)
+	}
+	slack := float64(c.MergeBins) * c.Fres
+	var out []Detection
+	for _, d := range merged {
+		if d.DepthDB > maxDepthDB {
+			continue
+		}
+		if abs(d.BestHarmonic) >= 2 && d.Score < corroboration*c.MinScore {
+			// Probes of higher harmonics disperse, so a lone |h| >= 2 hit
+			// needs a first-harmonic confirmation unless overwhelming.
+			hasFirst := false
+			for _, h := range d.Harmonics {
+				if h == 1 || h == -1 {
+					hasFirst = true
+					break
+				}
+			}
+			if !hasFirst {
+				continue
+			}
+		}
+		ghost := false
+		for _, strong := range out {
+			if strong.Score < ghostRatio*d.Score {
+				continue
+			}
+			// A weak detection harmonically related to the strong one is
+			// a genuine comb member (e.g. the 132 kHz refresh fundamental
+			// below its 264 kHz harmonic), even if their spacing happens
+			// to coincide with a multiple of f_alt.
+			if harmonicallyRelated(d.Freq, strong.Freq, 0.004) {
+				continue
+			}
+			df := math.Abs(d.Freq - strong.Freq)
+			for m := 1; m <= maxH; m++ {
+				if df >= float64(m)*faltMin-slack && df <= float64(m)*faltMax+slack {
+					ghost = true
+					break
+				}
+			}
+			if ghost {
+				break
+			}
+		}
+		if !ghost {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// measureCarrier reads the carrier magnitude and the first-harmonic
+// side-band depth at the detected bin.
+func measureCarrier(spectra []*spectral.Spectrum, falts []float64, bin, mergeBins int) (magDBm, depthDB float64) {
+	base := spectra[0]
+	// Carrier magnitude: the strongest bin within the merge radius across
+	// all measurements (the carrier is present in every measurement).
+	var carrier float64
+	for _, s := range spectra {
+		for k := bin - mergeBins; k <= bin+mergeBins; k++ {
+			if k >= 0 && k < s.Bins() && s.PmW[k] > carrier {
+				carrier = s.PmW[k]
+			}
+		}
+	}
+	// Side-band power: each measurement's bins at ±falt_i, averaged.
+	var side float64
+	var count int
+	// Side-band search window: ±8 bins tolerates the jitter-spread of the
+	// side-band line around its nominal ±falt offset.
+	const sideWin = 8
+	for i, s := range spectra {
+		shift := int(math.Round(falts[i] / base.Fres))
+		for _, k := range []int{bin + shift, bin - shift} {
+			if k >= 0 && k < s.Bins() {
+				if j := s.MaxIn(s.Freq(k)-sideWin*base.Fres, s.Freq(k)+sideWin*base.Fres); j >= 0 {
+					side += s.PmW[j]
+					count++
+				}
+			}
+		}
+	}
+	if count > 0 {
+		side /= float64(count)
+	}
+	magDBm = spectral.DBmFromMw(carrier)
+	if carrier > 0 && side > 0 {
+		depthDB = 10 * math.Log10(side/carrier)
+	} else {
+		depthDB = math.Inf(-1)
+	}
+	return magDBm, depthDB
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// harmonicallyRelated reports whether one frequency is an integer
+// multiple of the other within a relative tolerance.
+func harmonicallyRelated(a, b float64, tol float64) bool {
+	if a > b {
+		a, b = b, a
+	}
+	if a <= 0 {
+		return false
+	}
+	ord := math.Round(b / a)
+	return ord >= 1 && math.Abs(b-ord*a) <= tol*b
+}
+
+// maxIntAround returns the maximum of s within radius r of index i.
+func maxIntAround(s []int, i, r int) int {
+	best := 0
+	for k := i - r; k <= i+r; k++ {
+		if k >= 0 && k < len(s) && s[k] > best {
+			best = s[k]
+		}
+	}
+	return best
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

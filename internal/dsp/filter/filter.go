@@ -1,0 +1,159 @@
+// Package filter provides FIR design, one-pole smoothing, and biquad IIR
+// sections used by the regulator control-loop model and the demodulators.
+package filter
+
+import (
+	"fmt"
+	"math"
+)
+
+// LowpassFIR designs a windowed-sinc (Hamming) low-pass FIR filter with the
+// given normalized cutoff (cutoff = fc/fs, 0 < cutoff < 0.5) and odd length
+// taps. The filter has unit DC gain.
+func LowpassFIR(cutoff float64, taps int) []float64 {
+	if cutoff <= 0 || cutoff >= 0.5 {
+		panic(fmt.Sprintf("filter: cutoff %g out of (0, 0.5)", cutoff))
+	}
+	if taps < 3 || taps%2 == 0 {
+		panic(fmt.Sprintf("filter: taps must be odd and >= 3, got %d", taps))
+	}
+	h := make([]float64, taps)
+	mid := taps / 2
+	var sum float64
+	for i := range h {
+		n := float64(i - mid)
+		var v float64
+		if n == 0 {
+			v = 2 * cutoff
+		} else {
+			v = math.Sin(2*math.Pi*cutoff*n) / (math.Pi * n)
+		}
+		// Hamming window.
+		v *= 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(taps-1))
+		h[i] = v
+		sum += v
+	}
+	for i := range h {
+		h[i] /= sum
+	}
+	return h
+}
+
+// Convolve returns the "same"-length convolution of x with kernel h,
+// aligning the kernel center with each sample (zero padding at the edges).
+func Convolve(x, h []float64) []float64 {
+	out := make([]float64, len(x))
+	mid := len(h) / 2
+	for i := range x {
+		var acc float64
+		for k, hv := range h {
+			j := i + mid - k
+			if j >= 0 && j < len(x) {
+				acc += hv * x[j]
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// ConvolveComplex is Convolve for complex signals with a real kernel.
+func ConvolveComplex(x []complex128, h []float64) []complex128 {
+	out := make([]complex128, len(x))
+	mid := len(h) / 2
+	for i := range x {
+		var acc complex128
+		for k, hv := range h {
+			j := i + mid - k
+			if j >= 0 && j < len(x) {
+				acc += complex(hv, 0) * x[j]
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// OnePole is a single-pole low-pass smoother y += a·(x−y), the discrete
+// equivalent of an RC control loop. The zero value is unusable; use
+// NewOnePole.
+type OnePole struct {
+	a float64
+	y float64
+	// primed reports whether the state has been seeded by the first
+	// sample, avoiding a startup transient from zero.
+	primed bool
+}
+
+// NewOnePole creates a smoother with the given -3 dB bandwidth (Hz) at
+// sample rate fs. bandwidth must be positive and below fs/2.
+func NewOnePole(bandwidth, fs float64) *OnePole {
+	if bandwidth <= 0 || bandwidth >= fs/2 {
+		panic(fmt.Sprintf("filter: one-pole bandwidth %g out of (0, fs/2=%g)", bandwidth, fs/2))
+	}
+	a := 1 - math.Exp(-2*math.Pi*bandwidth/fs)
+	return &OnePole{a: a}
+}
+
+// Step advances the smoother by one input sample and returns the output.
+func (p *OnePole) Step(x float64) float64 {
+	if !p.primed {
+		p.y = x
+		p.primed = true
+		return x
+	}
+	p.y += p.a * (x - p.y)
+	return p.y
+}
+
+// Reset clears the smoother state.
+func (p *OnePole) Reset() { p.y, p.primed = 0, false }
+
+// Biquad is a direct-form-II-transposed second-order IIR section.
+type Biquad struct {
+	B0, B1, B2 float64
+	A1, A2     float64 // denominator with a0 normalized to 1
+	z1, z2     float64
+}
+
+// NewLowpassBiquad designs a Butterworth-Q low-pass biquad at fc Hz for
+// sample rate fs via the bilinear transform (RBJ cookbook).
+func NewLowpassBiquad(fc, fs float64) *Biquad {
+	if fc <= 0 || fc >= fs/2 {
+		panic(fmt.Sprintf("filter: biquad fc %g out of (0, fs/2=%g)", fc, fs/2))
+	}
+	const q = math.Sqrt2 / 2
+	w0 := 2 * math.Pi * fc / fs
+	alpha := math.Sin(w0) / (2 * q)
+	cw := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		B0: (1 - cw) / 2 / a0,
+		B1: (1 - cw) / a0,
+		B2: (1 - cw) / 2 / a0,
+		A1: -2 * cw / a0,
+		A2: (1 - alpha) / a0,
+	}
+}
+
+// Step advances the biquad by one sample.
+func (b *Biquad) Step(x float64) float64 {
+	y := b.B0*x + b.z1
+	b.z1 = b.B1*x - b.A1*y + b.z2
+	b.z2 = b.B2*x - b.A2*y
+	return y
+}
+
+// Reset clears the delay line.
+func (b *Biquad) Reset() { b.z1, b.z2 = 0, 0 }
+
+// Filter applies the biquad to a whole slice, returning a new slice. The
+// internal state is reset first.
+func (b *Biquad) Filter(x []float64) []float64 {
+	b.Reset()
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = b.Step(v)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package emsim renders the electromagnetic emanations of a simulated
+// computer system plus its RF environment as complex-baseband captures —
+// the software stand-in for the paper's antenna.
+//
+// Rendering uses the superheterodyne model: a capture is taken for a Band
+// (center frequency + sample rate); each component adds only the spectral
+// content that falls within the band, so carriers at hundreds of MHz never
+// require GHz-scale sample rates. Amplitudes are RMS envelopes in √mW, so
+// a component emitting a tone with envelope magnitude |A| reads
+// 10·log10(|A|²) dBm at the antenna (see package spectral).
+package emsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fase/internal/activity"
+)
+
+// Band is the frequency window of one capture.
+type Band struct {
+	Center     float64 // Hz
+	SampleRate float64 // complex samples per second; spans Center ± SampleRate/2
+}
+
+// Contains reports whether frequency f falls inside the band, with a small
+// guard margin so content right at the edge (where the anti-alias response
+// would be rolling off) is excluded.
+func (b Band) Contains(f float64) bool {
+	const guard = 0.98
+	half := b.SampleRate / 2 * guard
+	return f > b.Center-half && f < b.Center+half
+}
+
+// Context carries everything a component needs to render one capture.
+type Context struct {
+	Band  Band
+	Start float64 // absolute time of sample 0, seconds
+	N     int     // number of samples
+	// Rand is the capture's noise source. The scene hands each component
+	// its own child generator so components draw independent streams.
+	Rand *rand.Rand
+	// Activity is the program-activity envelope; nil means idle.
+	Activity *activity.Trace
+	// NearField enables the short-range probe model used for source
+	// localization (§4): system emitters appear stronger and with
+	// per-element coupling (e.g. individual DRAM ranks), while
+	// environment signals do not.
+	NearField bool
+	// NearFieldGainDB is the probe gain applied to system emitters when
+	// NearField is set.
+	NearFieldGainDB float64
+}
+
+// Dt returns the sample period.
+func (c *Context) Dt() float64 { return 1 / c.Band.SampleRate }
+
+// Loads returns an activity cursor for the capture, treating a nil
+// activity trace as idle.
+func (c *Context) Loads() *activity.Cursor {
+	tr := c.Activity
+	if tr == nil {
+		tr = activity.NewConstant(activity.LoadOf(activity.Idle))
+	}
+	return tr.Cursor()
+}
+
+// Component is anything that adds signal (or noise) to a capture.
+type Component interface {
+	// Name identifies the component in reports and ground-truth tables.
+	Name() string
+	// Render adds the component's complex-baseband contribution to dst,
+	// which has ctx.N samples.
+	Render(dst []complex128, ctx *Context)
+}
+
+// Emitter is a system component with known carriers — the ground truth
+// FASE's output is validated against.
+type Emitter interface {
+	Component
+	// Carriers lists the carrier frequencies the component emits within
+	// [f1, f2].
+	Carriers(f1, f2 float64) []float64
+	// Domain is the power domain whose activity modulates the component's
+	// amplitude; DomainNone means no program activity modulates it.
+	Domain() activity.Domain
+	// AMModulated reports whether the component's emissions are
+	// amplitude-modulated by activity in its domain. False for emitters
+	// that are only frequency-modulated (§4.4's constant-on-time
+	// regulator), which FASE must correctly not report.
+	AMModulated() bool
+}
+
+// Scene is a complete measurement setup: a system's emitters plus the
+// surrounding RF environment.
+type Scene struct {
+	Components []Component
+}
+
+// Add appends components to the scene.
+func (s *Scene) Add(cs ...Component) { s.Components = append(s.Components, cs...) }
+
+// Emitters returns the scene's components that expose ground truth.
+func (s *Scene) Emitters() []Emitter {
+	var out []Emitter
+	for _, c := range s.Components {
+		if e, ok := c.(Emitter); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Capture describes one rendering request.
+type Capture struct {
+	Band            Band
+	Start           float64
+	N               int
+	Activity        *activity.Trace
+	Seed            int64
+	NearField       bool
+	NearFieldGainDB float64
+}
+
+// Render produces the complex-baseband samples for a capture.
+func (s *Scene) Render(cap Capture) []complex128 {
+	if cap.N <= 0 {
+		panic(fmt.Sprintf("emsim: capture length %d must be positive", cap.N))
+	}
+	if cap.Band.SampleRate <= 0 {
+		panic(fmt.Sprintf("emsim: sample rate %g must be positive", cap.Band.SampleRate))
+	}
+	root := rand.New(rand.NewSource(cap.Seed))
+	dst := make([]complex128, cap.N)
+	for _, c := range s.Components {
+		ctx := &Context{
+			Band:            cap.Band,
+			Start:           cap.Start,
+			N:               cap.N,
+			Rand:            rand.New(rand.NewSource(root.Int63())),
+			Activity:        cap.Activity,
+			NearField:       cap.NearField,
+			NearFieldGainDB: cap.NearFieldGainDB,
+		}
+		c.Render(dst, ctx)
+	}
+	return dst
+}
+
+// GroundTruthCarrier is one expected detection for validation.
+type GroundTruthCarrier struct {
+	Source    string
+	Freq      float64
+	Domain    activity.Domain
+	Modulated bool // AM-modulated by the given X/Y activity pair
+}
+
+// GroundTruth enumerates every emitter carrier in [f1, f2] and whether the
+// X/Y activity pair AM-modulates it: the pair must change the emitter's
+// domain load by at least minDelta, and the emitter must be AM-capable.
+func (s *Scene) GroundTruth(f1, f2 float64, x, y activity.Kind, minDelta float64) []GroundTruthCarrier {
+	lx, ly := activity.LoadOf(x), activity.LoadOf(y)
+	var out []GroundTruthCarrier
+	for _, e := range s.Emitters() {
+		d := e.Domain()
+		delta := d.Of(lx) - d.Of(ly)
+		if delta < 0 {
+			delta = -delta
+		}
+		mod := e.AMModulated() && d != activity.DomainNone && delta >= minDelta
+		for _, f := range e.Carriers(f1, f2) {
+			out = append(out, GroundTruthCarrier{Source: e.Name(), Freq: f, Domain: d, Modulated: mod})
+		}
+	}
+	return out
+}

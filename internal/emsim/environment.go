@@ -1,0 +1,259 @@
+package emsim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+
+	"fase/internal/dsp/fft"
+)
+
+// AMStation is an AM broadcast transmitter: a strong carrier
+// amplitude-modulated by program audio. It is exactly the signal class
+// FASE must reject — amplitude-modulated, but not by the micro-benchmark
+// (§2.3: "Although AM radio signals are amplitude-modulated and strong,
+// FASE correctly identifies that these signals are not caused by our
+// modulation activity").
+type AMStation struct {
+	Call    string  // station identifier for reports
+	Freq    float64 // carrier frequency, Hz
+	PowerMw float64 // received carrier power, mW
+	// Depth is the modulation index (0..1); zero defaults to 0.5.
+	Depth float64
+	// AudioSeed fixes the station's program-audio spectrum. Real
+	// broadcast content is statistically stationary across the minutes a
+	// FASE campaign takes, which is what lets FASE reject stations: their
+	// side-bands sit at the same frequencies in every measurement. Only
+	// phases vary per capture.
+	AudioSeed int64
+}
+
+// Name implements Component.
+func (a *AMStation) Name() string { return fmt.Sprintf("AM station %s @ %.0f kHz", a.Call, a.Freq/1e3) }
+
+// Render implements Component: carrier × (1 + depth·audio(t)), where the
+// audio is a random mixture of low-frequency tones (program content).
+func (a *AMStation) Render(dst []complex128, ctx *Context) {
+	if !ctx.Band.Contains(a.Freq) {
+		return
+	}
+	depth := a.Depth
+	if depth == 0 {
+		depth = 0.5
+	}
+	// Program audio: three tones between 300 Hz and 4 kHz. Frequencies
+	// and relative amplitudes are fixed per station (stationary program
+	// spectrum); phases are drawn per capture.
+	ar := rand.New(rand.NewSource(a.AudioSeed ^ int64(a.Freq)))
+	type toneT struct{ f, p, amp float64 }
+	tones := make([]toneT, 3)
+	var ampSum float64
+	for i := range tones {
+		tones[i] = toneT{f: 300 + 3700*ar.Float64(), amp: 0.3 + 0.7*ar.Float64()}
+		ampSum += tones[i].amp
+	}
+	for i := range tones {
+		tones[i].amp /= ampSum
+		tones[i].p = 2 * math.Pi * ctx.Rand.Float64()
+	}
+	amp := math.Sqrt(a.PowerMw)
+	phase0 := 2 * math.Pi * ctx.Rand.Float64()
+	dt := ctx.Dt()
+	off := 2 * math.Pi * (a.Freq - ctx.Band.Center)
+	for i := range dst {
+		t := ctx.Start + float64(i)*dt
+		var audio float64
+		for _, tn := range tones {
+			audio += tn.amp * math.Sin(2*math.Pi*tn.f*t+tn.p)
+		}
+		env := amp * (1 + depth*audio)
+		dst[i] += complex(env, 0) * cmplx.Exp(complex(0, off*t+phase0))
+	}
+}
+
+// FMStation is a broadcast FM transmitter (88–108 MHz): a carrier
+// frequency-modulated by program audio. Relevant to the paper's second
+// measurement campaign (4–120 MHz): strong, modulated, and — like the AM
+// band — not modulated by the micro-benchmark, so FASE must reject it.
+type FMStation struct {
+	Call    string
+	Freq    float64 // carrier, Hz
+	PowerMw float64 // received power, mW
+	// DeviationHz is the peak FM deviation; zero means 75 kHz (broadcast).
+	DeviationHz float64
+	// AudioSeed fixes the station's (stationary) program audio.
+	AudioSeed int64
+}
+
+// Name implements Component.
+func (s *FMStation) Name() string { return fmt.Sprintf("FM station %s @ %.1f MHz", s.Call, s.Freq/1e6) }
+
+// Render implements Component.
+func (s *FMStation) Render(dst []complex128, ctx *Context) {
+	if !ctx.Band.Contains(s.Freq) {
+		return
+	}
+	dev := s.DeviationHz
+	if dev == 0 {
+		dev = 75e3
+	}
+	ar := rand.New(rand.NewSource(s.AudioSeed ^ int64(s.Freq)))
+	type toneT struct{ f, p, amp float64 }
+	tones := make([]toneT, 3)
+	var ampSum float64
+	for i := range tones {
+		tones[i] = toneT{f: 300 + 7000*ar.Float64(), amp: 0.3 + 0.7*ar.Float64()}
+		ampSum += tones[i].amp
+	}
+	for i := range tones {
+		tones[i].amp /= ampSum
+		tones[i].p = 2 * math.Pi * ctx.Rand.Float64()
+	}
+	amp := math.Sqrt(s.PowerMw)
+	dt := ctx.Dt()
+	phase := 2 * math.Pi * ctx.Rand.Float64()
+	base := 2 * math.Pi * (s.Freq - ctx.Band.Center)
+	for i := range dst {
+		t := ctx.Start + float64(i)*dt
+		var audio float64
+		for _, tn := range tones {
+			audio += tn.amp * math.Sin(2*math.Pi*tn.f*t+tn.p)
+		}
+		sn, cs := math.Sincos(phase)
+		dst[i] += complex(amp*cs, amp*sn)
+		phase += (base + 2*math.Pi*dev*audio) * dt
+	}
+}
+
+// Hill is a broad bump in the broadband noise spectrum — the "gently
+// rolling hills and valleys" caused by randomly timed switching activity
+// (§2.1).
+type Hill struct {
+	Center float64 // Hz
+	Width  float64 // Gaussian sigma, Hz
+	GainDB float64 // height above the floor at the center, dB
+}
+
+// Background renders the thermal noise floor plus colored-noise hills. It
+// synthesizes the noise in the frequency domain so the per-bin density
+// follows the configured shape exactly. Safe for concurrent Render calls:
+// power-of-two plans carry only read-only state after construction and
+// are shared under a lock; other sizes build a fresh plan per call
+// (Bluestein plans own scratch buffers).
+type Background struct {
+	// FloorDBmPerHz is the flat noise density (e.g. -170 for a typical
+	// receive chain noise figure over kT = -174 dBm/Hz).
+	FloorDBmPerHz float64
+	Hills         []Hill
+
+	mu    sync.Mutex
+	plans map[int]*fft.Plan
+}
+
+// Name implements Component.
+func (b *Background) Name() string { return "background noise" }
+
+// densityMwPerHz evaluates the noise density at frequency f.
+func (b *Background) densityMwPerHz(f float64) float64 {
+	gain := 0.0
+	for _, h := range b.Hills {
+		d := (f - h.Center) / h.Width
+		gain += h.GainDB * math.Exp(-d*d/2)
+	}
+	return math.Pow(10, (b.FloorDBmPerHz+gain)/10)
+}
+
+// Render implements Component.
+func (b *Background) Render(dst []complex128, ctx *Context) {
+	n := ctx.N
+	var plan *fft.Plan
+	if n&(n-1) == 0 {
+		// Power-of-two plans are concurrency-safe to share (twiddle and
+		// bit-reversal tables are read-only after construction).
+		b.mu.Lock()
+		if b.plans == nil {
+			b.plans = make(map[int]*fft.Plan)
+		}
+		var ok bool
+		plan, ok = b.plans[n]
+		if !ok {
+			plan = fft.NewPlan(n)
+			b.plans[n] = plan
+		}
+		b.mu.Unlock()
+	} else {
+		// Bluestein plans own scratch buffers: per-call instances.
+		plan = fft.NewPlan(n)
+	}
+	fs := ctx.Band.SampleRate
+	f0 := ctx.Band.Center - fs/2
+	fres := fs / float64(n)
+	r := ctx.Rand
+	spec := make([]complex128, n)
+	for k := range spec {
+		f := f0 + float64(k)*fres
+		// Bin variance n·N0(f)·fs gives time-domain density N0 after the
+		// 1/n of the inverse transform.
+		sd := math.Sqrt(float64(n) * b.densityMwPerHz(f) * fs / 2)
+		spec[k] = complex(sd*r.NormFloat64(), sd*r.NormFloat64())
+	}
+	fft.InverseShift(spec) // from ascending-frequency to FFT bin order
+	plan.Inverse(spec)
+	for i := range dst {
+		dst[i] += spec[i]
+	}
+}
+
+// StandardEnvironment builds the RF environment of the paper's
+// measurements: a metropolitan AM broadcast band ("hundreds of radio
+// stations nearby"), plus the receive chain's noise floor with broadband
+// hills. All of it is ground-truth *unmodulated by program activity*.
+func StandardEnvironment(r *rand.Rand) []Component {
+	stations := []struct {
+		call string
+		freq float64
+		dbm  float64
+	}{
+		{"WABC", 560e3, -97}, {"WCNN", 615e3, -92}, {"WGST", 680e3, -88},
+		{"WSB", 750e3, -85}, {"WQXI", 790e3, -95}, {"WGKA", 940e3, -93},
+		{"WDUN", 1010e3, -99}, {"WKHX", 1160e3, -101}, {"WIGO", 1340e3, -104},
+		{"WNIV", 1400e3, -103}, {"WAOK", 1380e3, -98}, {"WGUN", 1520e3, -106},
+	}
+	var out []Component
+	for _, s := range stations {
+		out = append(out, &AMStation{
+			Call:      s.call,
+			Freq:      s.freq,
+			PowerMw:   math.Pow(10, s.dbm/10),
+			Depth:     0.3 + 0.5*r.Float64(),
+			AudioSeed: r.Int63(),
+		})
+	}
+	// The FM broadcast band (88-108 MHz) for the second campaign's range.
+	fms := []struct {
+		call string
+		freq float64
+		dbm  float64
+	}{
+		{"WABE", 90.1e6, -95}, {"WSB-FM", 98.5e6, -90}, {"WVEE", 103.3e6, -93},
+	}
+	for _, s := range fms {
+		out = append(out, &FMStation{
+			Call:      s.call,
+			Freq:      s.freq,
+			PowerMw:   math.Pow(10, s.dbm/10),
+			AudioSeed: r.Int63(),
+		})
+	}
+	out = append(out, &Background{
+		FloorDBmPerHz: -172,
+		Hills: []Hill{
+			{Center: 150e3, Width: 120e3, GainDB: 9},
+			{Center: 900e3, Width: 500e3, GainDB: 5},
+			{Center: 2.5e6, Width: 1.2e6, GainDB: 3},
+		},
+	})
+	return out
+}

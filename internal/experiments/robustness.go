@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"fase/internal/activity"
+	"fase/internal/attack"
+	"fase/internal/core"
+	"fase/internal/machine"
+	"fase/internal/report"
+)
+
+func init() {
+	register("pair-robustness", pairRobustness)
+	register("carrier-tracking", carrierTracking)
+	register("campaign2-sweep", campaign2Sweep)
+}
+
+// campaign2Sweep runs a representative slice of Figure 10's second
+// campaign (4-120 MHz). The paper reports no activity-modulated carriers
+// in this range on the test systems -- the strong signals there (the PCIe
+// reference clock, broadcast FM) are not modulated by program activity --
+// so the correct result is an empty detection list despite the in-band
+// unmodulated SSC clock.
+func campaign2Sweep(cfg Config) *report.Output {
+	sys := machine.IntelCoreI7Desktop()
+	r := &core.Runner{Scene: sys.Scene(cfg.Seed, true)}
+	res := r.Run(core.Campaign{
+		F1: 90e6, F2: 110e6, Fres: 500,
+		FAlt1: 43.3e3, FDelta: 5e3, // Figure 10 row 2 parameters
+		X: activity.LDM, Y: activity.LDL1, Seed: cfg.Seed + 370,
+	})
+	// Confirm the strong unmodulated signals are actually visible in the
+	// raw spectrum: the PCIe SSC clock and the FM broadcast band.
+	sp := res.Measurements[0].Spectrum
+	_, pcie := peakNear(sp, 100e6, 600e3)
+	_, fm1 := peakNear(sp, 90.1e6, 200e3)
+	_, fm2 := peakNear(sp, 98.5e6, 200e3)
+	_, fm3 := peakNear(sp, 103.3e6, 200e3)
+	floor := dbmOf(sp.MedianPower())
+	tbl := report.Table{
+		Title:  "Campaign 2 slice (90-110 MHz, LDM/LDL1)",
+		Header: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"PCIe clock peak (raw spectrum)", fmt.Sprintf("%.1f dBm", pcie)},
+			{"FM stations 90.1 / 98.5 / 103.3 MHz", fmt.Sprintf("%.1f / %.1f / %.1f dBm", fm1, fm2, fm3)},
+			{"median floor", fmt.Sprintf("%.1f dBm", floor)},
+			{"FASE detections", fmt.Sprintf("%d", len(res.Detections))},
+		},
+	}
+	return &report.Output{
+		ID:     "campaign2-sweep",
+		Title:  "Figure 10 campaign 2 (4-120 MHz): strong but unmodulated VHF signals are rejected",
+		Tables: []report.Table{tbl},
+		Notes: []string{fmt.Sprintf("the PCIe SSC clock (%.0f dB above the floor) and three broadcast FM stations are all rejected: %v detections (paper reports no carriers in this range)",
+			pcie-floor, len(res.Detections))},
+	}
+}
+
+// pairRobustness reproduces the §3 observation that different X/Y
+// pairings involving main-memory accesses "expose the same carriers as
+// LDM/LDL1, although they vary in the exact shape and strength of the
+// side-band signals".
+func pairRobustness(cfg Config) *report.Output {
+	sys := machine.IntelCoreI7Desktop()
+	r := &core.Runner{Scene: sys.Scene(cfg.Seed, true)}
+	pairs := []struct{ x, y activity.Kind }{
+		{activity.LDM, activity.LDL1},
+		{activity.STM, activity.LDL1},
+		{activity.LDM, activity.ADD},
+	}
+	// The memory-side carriers every pairing must expose.
+	targets := []struct {
+		name string
+		freq float64
+	}{
+		{"memory regulator", sys.MemRegulator.FSw},
+		{"memory interface regulator", sys.MemCtlRegulator.FSw},
+		{"refresh comb", 512e3},
+	}
+	tbl := report.Table{
+		Title:  "Memory-side carriers exposed by different X/Y pairings (§3)",
+		Header: []string{"pair", "memory regulator", "memory interface regulator", "refresh comb", "total detections"},
+	}
+	consistent := true
+	for i, p := range pairs {
+		res := r.Run(core.Campaign{
+			F1: 0.25e6, F2: 0.55e6, Fres: 50, FAlt1: 43.3e3, FDelta: 0.5e3,
+			X: p.x, Y: p.y, Seed: cfg.Seed + 350 + int64(i),
+		})
+		row := []string{pairName(p.x, p.y)}
+		for _, tgt := range targets {
+			found := false
+			for _, d := range res.Detections {
+				if math.Abs(d.Freq-tgt.freq) < 1.5e3 {
+					found = true
+				}
+			}
+			if !found {
+				consistent = false
+			}
+			row = append(row, fmt.Sprintf("%v", found))
+		}
+		row = append(row, fmt.Sprintf("%d", len(res.Detections)))
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return &report.Output{
+		ID:     "pair-robustness",
+		Title:  "§3: alternative activity pairings expose the same carriers",
+		Tables: []report.Table{tbl},
+		Notes: []string{fmt.Sprintf("all pairings expose all memory-side carriers: %v (paper: 'applying FASE to them exposes the same carriers as LDM/LDL1')",
+			consistent)},
+	}
+}
+
+// carrierTracking quantifies §4.3's warning that spread-spectrum clocking
+// only helps "in an averaged sense": a receiver that tracks the swept
+// carrier recovers the activity signal a fixed-tune narrowband receiver
+// loses.
+func carrierTracking(cfg Config) *report.Output {
+	sys := machine.IntelCoreI7Desktop()
+	scene := sys.Scene(cfg.Seed, false)
+	clk := sys.DRAMClock
+	bits := make([]byte, 64)
+	for i := range bits {
+		bits[i] = byte((i * 7) % 2)
+	}
+	// Bit period shorter than the 100 µs sweep period: a receiver that
+	// does not hold the whole sweep sees the carrier only in bursts.
+	const tBit = 20e-6
+	// Fixed narrowband receiver parked mid-spread: the sweep carries the
+	// carrier out of its passband most of the time.
+	narrow := &attack.Receiver{Carrier: clk.F0 - clk.SpreadHz/2, Bandwidth: 100e3}
+	lkNarrow := attack.Quantify(narrow, scene, bits, activity.LDM, activity.LDL1, tBit, cfg.Seed+360)
+	// Tracking receiver: wide enough to always contain the swept carrier
+	// (envelope detection over the whole spread recovers the AM).
+	wide := &attack.Receiver{Carrier: clk.F0 - clk.SpreadHz/2, Bandwidth: 2.5 * clk.SpreadHz}
+	lkWide := attack.Quantify(wide, scene, bits, activity.LDM, activity.LDL1, tBit, cfg.Seed+361)
+	tbl := report.Table{
+		Title:  "Recovering DRAM activity through the spread-spectrum clock",
+		Header: []string{"receiver", "bandwidth", "BER", "bits/symbol"},
+		Rows: [][]string{
+			{"fixed narrowband (mid-spread)", "100 kHz", fmt.Sprintf("%.3f", lkNarrow.BER), fmt.Sprintf("%.2f", lkNarrow.BitsPerSymbol)},
+			{"full-spread (tracking-equivalent)", fmt.Sprintf("%.1f MHz", 2.5*clk.SpreadHz/1e6), fmt.Sprintf("%.3f", lkWide.BER), fmt.Sprintf("%.2f", lkWide.BitsPerSymbol)},
+		},
+	}
+	return &report.Output{
+		ID:     "carrier-tracking",
+		Title:  "§4.3: spread-spectrum clocking does not mitigate leakage against a tracking receiver",
+		Tables: []report.Table{tbl},
+		Notes: []string{
+			fmt.Sprintf("the sweep starves the fixed narrowband receiver (BER %.2f); covering the full spread recovers the signal (BER %.2f)", lkNarrow.BER, lkWide.BER),
+			"paper: 'attackers can still track the carrier and use the full power of the signal after demodulation'",
+		},
+	}
+}

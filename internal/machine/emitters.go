@@ -1,0 +1,518 @@
+// Package machine models the EM-emitting components of a computer system:
+// switching voltage regulators, DRAM refresh, and (spread-spectrum)
+// clocks — the three signal classes the paper discovers (§4) — plus the
+// thousands of periodic-but-unmodulated system signals FASE must reject.
+//
+// Each emitter implements emsim.Emitter, contributing complex-baseband
+// signal to captures and exposing ground truth (carrier frequencies, the
+// power domain that modulates it) for validating FASE's output.
+package machine
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"fase/internal/activity"
+	"fase/internal/dsp/filter"
+	"fase/internal/emsim"
+	"fase/internal/sig"
+)
+
+// nearGain converts the context's near-field probe setting into a linear
+// amplitude factor for system emitters.
+func nearGain(ctx *emsim.Context) float64 {
+	if !ctx.NearField {
+		return 1
+	}
+	return math.Pow(10, ctx.NearFieldGainDB/20)
+}
+
+// wrapPhase keeps a phase accumulator in [-π, π] to preserve precision
+// over long captures.
+func wrapPhase(p float64) float64 {
+	if p > math.Pi {
+		p -= 2 * math.Pi * math.Floor((p+math.Pi)/(2*math.Pi))
+	} else if p < -math.Pi {
+		p += 2 * math.Pi * math.Floor((math.Pi-p)/(2*math.Pi))
+	}
+	return p
+}
+
+// SwitchingRegulator models a buck converter: a rectangular pulse train at
+// the switching frequency FSw whose duty cycle tracks the load current of
+// the domain it powers. Changing the duty cycle changes the amplitude of
+// every harmonic (§4.1), so load alternation AM-modulates the whole
+// harmonic comb. The switching oscillator is an RC type with OU frequency
+// wander, giving the carrier its Gaussian-looking spread (Fig. 12).
+type SwitchingRegulator struct {
+	Label string
+	// FSw is the nominal switching frequency (usually 200–500 kHz).
+	FSw float64
+	// BaseDuty is the idle duty cycle (≈ Vout/Vin, e.g. 1V/12V ≈ 0.083).
+	BaseDuty float64
+	// DutySwing is the duty increase at full load of the domain.
+	DutySwing float64
+	// AmpSwing is the relative increase of the switching-current
+	// amplitude at full load. Buck converters switch the inductor
+	// current, which tracks the load; this term dominates the AM for
+	// regulators operating near 50% duty, where the harmonic amplitudes
+	// are insensitive to duty (d·sinc(n·d) is flat there). Zero for
+	// board regulators whose small duty makes the duty term dominate.
+	AmpSwing float64
+	// FundamentalDBm is the received power of the n=1 line at BaseDuty.
+	FundamentalDBm float64
+	// MaxHarmonics bounds the rendered comb.
+	MaxHarmonics int
+	// WanderSigma/WanderTau parameterize the RC oscillator's frequency
+	// wander (Hz RMS / correlation time).
+	WanderSigma, WanderTau float64
+	// LoopBw is the voltage control loop bandwidth; duty responds to load
+	// changes through a one-pole filter of this bandwidth.
+	LoopBw float64
+	// Dom is the power domain whose load modulates the duty cycle.
+	Dom activity.Domain
+}
+
+// Name implements emsim.Component.
+func (g *SwitchingRegulator) Name() string { return g.Label }
+
+// Domain implements emsim.Emitter.
+func (g *SwitchingRegulator) Domain() activity.Domain { return g.Dom }
+
+// AMModulated implements emsim.Emitter.
+func (g *SwitchingRegulator) AMModulated() bool { return true }
+
+// Carriers implements emsim.Emitter: harmonics of FSw within [f1, f2].
+func (g *SwitchingRegulator) Carriers(f1, f2 float64) []float64 {
+	return harmonicsIn(g.FSw, g.MaxHarmonics, f1, f2)
+}
+
+func harmonicsIn(f0 float64, maxN int, f1, f2 float64) []float64 {
+	var out []float64
+	for n := 1; n <= maxN; n++ {
+		f := float64(n) * f0
+		if f >= f1 && f <= f2 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Render implements emsim.Component.
+func (g *SwitchingRegulator) Render(dst []complex128, ctx *emsim.Context) {
+	if g.MaxHarmonics <= 0 || g.FSw <= 0 {
+		panic(fmt.Sprintf("machine: regulator %q misconfigured", g.Label))
+	}
+	// Collect in-band harmonics.
+	var ns []int
+	for n := 1; n <= g.MaxHarmonics; n++ {
+		if ctx.Band.Contains(float64(n) * g.FSw) {
+			ns = append(ns, n)
+		}
+	}
+	if len(ns) == 0 {
+		return
+	}
+	r := ctx.Rand
+	dt := ctx.Dt()
+	fs := ctx.Band.SampleRate
+	// Amplitude scale: |A0·c1(BaseDuty)|² = fundamental power.
+	c1 := cmplx.Abs(sig.PulseHarmonic(g.BaseDuty, 1))
+	a0 := math.Sqrt(math.Pow(10, g.FundamentalDBm/10)) / c1 * nearGain(ctx)
+
+	wander := sig.OU{Sigma: g.WanderSigma, Tau: g.WanderTau}
+	wander.Init(r)
+	// Clamp the control-loop bandwidth below Nyquist for narrow captures;
+	// the capture cannot resolve faster loop dynamics anyway.
+	bw := g.LoopBw
+	if bw > 0.4*fs {
+		bw = 0.4 * fs
+	}
+	loop := filter.NewOnePole(bw, fs)
+	cur := ctx.Loads()
+
+	// Per-harmonic baseband phase accumulators with random common start.
+	base := 2 * math.Pi * r.Float64()
+	phases := make([]float64, len(ns))
+	for i, n := range ns {
+		phases[i] = wrapPhase(float64(n) * base)
+	}
+	for i := range dst {
+		t := ctx.Start + float64(i)*dt
+		load := g.Dom.Of(cur.At(t))
+		smoothedLoad := loop.Step(load)
+		d := g.BaseDuty + g.DutySwing*smoothedLoad
+		ampl := 1 + g.AmpSwing*smoothedLoad
+		df := wander.Step(dt, r)
+		for k, n := range ns {
+			fn := float64(n)
+			// Fourier magnitude of harmonic n at duty d: d·sinc(n·d).
+			x := fn * d
+			mag := d
+			if x != 0 {
+				mag = d * math.Sin(math.Pi*x) / (math.Pi * x)
+			}
+			// Pulse-train harmonic phase is -π·n·d (pulse centering).
+			s, c := math.Sincos(phases[k] - math.Pi*x)
+			a := a0 * mag * ampl
+			dst[i] += complex(a*c, a*s)
+			phases[k] = wrapPhase(phases[k] + 2*math.Pi*(fn*(g.FSw+df)-ctx.Band.Center)*dt)
+		}
+	}
+}
+
+// ConstantOnTimeRegulator models the AMD laptop's core regulator (§4.4):
+// it keeps the switch on for a fixed time each cycle and varies the
+// switching *frequency* with load — frequency modulation, not amplitude
+// modulation. FASE must correctly not report it. Its oscillator also
+// wanders strongly, smearing its spectrum.
+type ConstantOnTimeRegulator struct {
+	Label string
+	// F0 is the idle switching frequency.
+	F0 float64
+	// FreqSwing is the relative frequency increase at full load (e.g.
+	// 0.15 = +15%).
+	FreqSwing float64
+	// TOn is the fixed on-time per cycle (pulse width).
+	TOn float64
+	// FundamentalDBm is the received power of the n=1 line at idle.
+	FundamentalDBm float64
+	// WanderSigma/WanderTau give the (large) frequency wander.
+	WanderSigma, WanderTau float64
+	// Dom is the modulating domain (the FM source).
+	Dom activity.Domain
+}
+
+// Name implements emsim.Component.
+func (g *ConstantOnTimeRegulator) Name() string { return g.Label }
+
+// Domain implements emsim.Emitter.
+func (g *ConstantOnTimeRegulator) Domain() activity.Domain { return g.Dom }
+
+// AMModulated implements emsim.Emitter: false — this emitter is only
+// frequency-modulated, the §4.4 negative control.
+func (g *ConstantOnTimeRegulator) AMModulated() bool { return false }
+
+// Carriers implements emsim.Emitter. The smeared comb still has nominal
+// line positions at multiples of F0.
+func (g *ConstantOnTimeRegulator) Carriers(f1, f2 float64) []float64 {
+	return harmonicsIn(g.F0, 8, f1, f2)
+}
+
+// Render implements emsim.Component: an event-driven pulse train. Each
+// switching cycle deposits one band-limited impulse whose area equals
+// amplitude·TOn; the cycle period follows the load-dependent frequency.
+func (g *ConstantOnTimeRegulator) Render(dst []complex128, ctx *emsim.Context) {
+	r := ctx.Rand
+	fs := ctx.Band.SampleRate
+	// Line amplitude of an f-rate impulse train is q·f; calibrate the
+	// impulse area q so the idle fundamental has the configured power.
+	q := math.Sqrt(math.Pow(10, g.FundamentalDBm/10)) / g.F0 * nearGain(ctx)
+	wander := sig.OU{Sigma: g.WanderSigma, Tau: g.WanderTau}
+	wander.Init(r)
+	kernel := sig.NewImpulseKernel(8)
+	cur := ctx.Loads()
+	duration := float64(ctx.N) / fs
+	// Random phase within the first cycle.
+	t := ctx.Start - r.Float64()/g.F0
+	end := ctx.Start + duration
+	for t < end {
+		load := g.Dom.Of(cur.At(t))
+		f := g.F0*(1+g.FreqSwing*load) + wander.Step(1/g.F0, r)
+		if f < g.F0/4 {
+			f = g.F0 / 4
+		}
+		t += 1 / f
+		pos := (t - ctx.Start) * fs
+		if pos >= 0 {
+			// Complex area includes the baseband downconversion phase.
+			ph := -2 * math.Pi * ctx.Band.Center * t
+			area := complex(q, 0) * cmplx.Exp(complex(0, ph))
+			kernel.Add(dst, pos, area, fs)
+		}
+	}
+}
+
+// RefreshEmitter models DRAM refresh (§4.2): every tREFI (7.8 µs for
+// DDR3) the controller issues a refresh command lasting ~200 ns — a
+// pulse train with a tiny duty cycle whose harmonics are all of similar
+// strength. Ranks are refreshed staggered in time, so the far-field sum
+// forms a comb at Ranks/tREFI (512 kHz for 4 ranks) while a near-field
+// probe coupled to one rank reveals the underlying 1/tREFI (128 kHz)
+// grid — reproducing the paper's localization discovery.
+//
+// Memory activity *disrupts* refresh timing (the controller postpones
+// refreshes to serve demand traffic and catches up later), spreading the
+// comb's energy and weakening the lines — which is why this signal gets
+// weaker with more memory activity, the paper's most counterintuitive
+// finding.
+type RefreshEmitter struct {
+	Label string
+	// TRefi is the average refresh command interval.
+	TRefi float64
+	// PulseWidth is the refresh command duration (area = amplitude·width).
+	PulseWidth float64
+	// LineDBm is the far-field power of one comb line (at multiples of
+	// Ranks/TRefi) when memory is idle.
+	LineDBm float64
+	// Ranks is the number of staggered ranks.
+	Ranks int
+	// NearRankWeights are the per-rank coupling weights in near-field
+	// mode (one rank dominating reveals the 1/TRefi comb). In far field
+	// all ranks couple equally.
+	NearRankWeights []float64
+	// DisruptGain is the timing displacement at full DRAM load as a
+	// fraction of TRefi.
+	DisruptGain float64
+	// JitterIdle is the idle timing jitter fraction (crystal-derived
+	// timing: tiny).
+	JitterIdle float64
+	// MaxHarmonics bounds the ground-truth carrier list.
+	MaxHarmonics int
+	// Dom is the modulating domain (DRAM).
+	Dom activity.Domain
+	// IntervalDither is the paper's proposed mitigation (§4.2/§6):
+	// the controller intentionally randomizes each refresh command's
+	// issue time by up to this fraction of tREFI, always — destroying
+	// the comb's periodicity (and with it the modulation) while keeping
+	// the average interval within the DRAM standard. Zero disables.
+	IntervalDither float64
+}
+
+// Name implements emsim.Component.
+func (g *RefreshEmitter) Name() string { return g.Label }
+
+// Domain implements emsim.Emitter.
+func (g *RefreshEmitter) Domain() activity.Domain { return g.Dom }
+
+// AMModulated implements emsim.Emitter.
+func (g *RefreshEmitter) AMModulated() bool { return true }
+
+// Carriers implements emsim.Emitter: the far-field comb at multiples of
+// Ranks/TRefi.
+func (g *RefreshEmitter) Carriers(f1, f2 float64) []float64 {
+	return harmonicsIn(float64(g.Ranks)/g.TRefi, g.MaxHarmonics, f1, f2)
+}
+
+// Render implements emsim.Component.
+func (g *RefreshEmitter) Render(dst []complex128, ctx *emsim.Context) {
+	if g.Ranks <= 0 {
+		panic(fmt.Sprintf("machine: refresh emitter %q needs at least one rank", g.Label))
+	}
+	r := ctx.Rand
+	fs := ctx.Band.SampleRate
+	gain := nearGain(ctx)
+	weights := make([]float64, g.Ranks)
+	for i := range weights {
+		weights[i] = 1
+	}
+	if ctx.NearField && len(g.NearRankWeights) == g.Ranks {
+		copy(weights, g.NearRankWeights)
+	}
+	// Far-field line amplitude at multiples of Ranks/TRefi is
+	// q·Σw/TRefi; calibrate the per-pulse area q accordingly (weights are
+	// all 1 in far field, so Σw = Ranks there).
+	q := math.Sqrt(math.Pow(10, g.LineDBm/10)) * g.TRefi / float64(g.Ranks) * gain
+
+	kernel := sig.NewImpulseKernel(8)
+	cur := ctx.Loads()
+	duration := float64(ctx.N) / fs
+	// Iterate the ideal refresh grid, displacing each command by
+	// activity-dependent jitter. Start early enough that kernels
+	// overlapping sample 0 are included.
+	startK := int(math.Floor((ctx.Start - 2*g.TRefi) / g.TRefi))
+	endT := ctx.Start + duration + 2*g.TRefi
+	for k := startK; ; k++ {
+		base := float64(k) * g.TRefi
+		if base > endT {
+			break
+		}
+		load := g.Dom.Of(cur.At(math.Max(base, ctx.Start)))
+		for rank := 0; rank < g.Ranks; rank++ {
+			tNom := base + float64(rank)*g.TRefi/float64(g.Ranks)
+			disp := g.TRefi * (g.JitterIdle*r.NormFloat64() + g.DisruptGain*load*(2*r.Float64()-1))
+			if g.IntervalDither > 0 {
+				disp += g.TRefi * g.IntervalDither * (2*r.Float64() - 1)
+			}
+			tk := tNom + disp
+			pos := (tk - ctx.Start) * fs
+			if pos < -16 || pos > float64(ctx.N)+16 {
+				continue
+			}
+			ph := -2 * math.Pi * ctx.Band.Center * tk
+			area := complex(q*weights[rank], 0) * cmplx.Exp(complex(0, ph))
+			kernel.Add(dst, pos, area, fs)
+		}
+	}
+}
+
+// SSCClock models a (possibly spread-spectrum) digital clock: a square
+// wave, so odd harmonics only, whose emission amplitude scales with the
+// switching activity the clock drives (§2.2: the DRAM clock emanates more
+// strongly during DRAM activity). Spread-spectrum clocking sweeps the
+// frequency over SpreadHz (down-spread) at RateHz (§4.3).
+type SSCClock struct {
+	Label string
+	// F0 is the nominal clock frequency; with SSC the instantaneous
+	// frequency stays within [F0-SpreadHz, F0].
+	F0       float64
+	SpreadHz float64
+	RateHz   float64
+	Profile  sig.SweepProfile
+	// FundamentalDBm is the received fundamental power at full activity.
+	FundamentalDBm float64
+	// IdleFrac is the amplitude fraction remaining at zero load (clock
+	// trees toggle regardless of data activity).
+	IdleFrac float64
+	// MaxHarmonics bounds rendered odd harmonics.
+	MaxHarmonics int
+	// Dom is the activity domain; DomainNone for clocks whose emissions
+	// do not respond to program activity (the CPU clock observation, §1).
+	Dom activity.Domain
+}
+
+// Name implements emsim.Component.
+func (g *SSCClock) Name() string { return g.Label }
+
+// Domain implements emsim.Emitter.
+func (g *SSCClock) Domain() activity.Domain { return g.Dom }
+
+// AMModulated implements emsim.Emitter.
+func (g *SSCClock) AMModulated() bool { return g.Dom != activity.DomainNone }
+
+// Carriers implements emsim.Emitter. A spread carrier is reported at its
+// spread edges — which is also how FASE reports it (Fig. 16: "two separate
+// carriers at the edges of the spread out clock signal"). An unspread
+// clock reports its harmonics directly.
+func (g *SSCClock) Carriers(f1, f2 float64) []float64 {
+	var out []float64
+	for n := 1; n <= g.MaxHarmonics; n += 2 {
+		fn := float64(n)
+		if g.SpreadHz == 0 {
+			if fn*g.F0 >= f1 && fn*g.F0 <= f2 {
+				out = append(out, fn*g.F0)
+			}
+			continue
+		}
+		for _, edge := range []float64{fn * (g.F0 - g.SpreadHz), fn * g.F0} {
+			if edge >= f1 && edge <= f2 {
+				out = append(out, edge)
+			}
+		}
+	}
+	return out
+}
+
+// Render implements emsim.Component.
+func (g *SSCClock) Render(dst []complex128, ctx *emsim.Context) {
+	// Collect odd harmonics whose swept range intersects the band.
+	var ns []int
+	for n := 1; n <= g.MaxHarmonics; n += 2 {
+		fn := float64(n)
+		lo, hi := fn*(g.F0-g.SpreadHz), fn*g.F0
+		if ctx.Band.Contains(lo) || ctx.Band.Contains(hi) ||
+			(lo < ctx.Band.Center && hi > ctx.Band.Center) {
+			ns = append(ns, n)
+		}
+	}
+	if len(ns) == 0 {
+		return
+	}
+	r := ctx.Rand
+	dt := ctx.Dt()
+	a0 := math.Sqrt(math.Pow(10, g.FundamentalDBm/10)) * nearGain(ctx)
+	ssc := sig.SSC{F0: g.F0, SpreadHz: g.SpreadHz, RateHz: g.RateHz, Profile: g.Profile}
+	ssc.Start(r)
+	cur := ctx.Loads()
+	phases := make([]float64, len(ns))
+	for i, n := range ns {
+		phases[i] = wrapPhase(float64(n) * ssc.Phase())
+	}
+	for i := range dst {
+		t := ctx.Start + float64(i)*dt
+		load := g.Dom.Of(cur.At(t))
+		env := g.IdleFrac + (1-g.IdleFrac)*load
+		f := ssc.Freq()
+		for k, n := range ns {
+			fn := float64(n)
+			a := a0 * env / fn // square-wave harmonic rolloff
+			s, c := math.Sincos(phases[k])
+			dst[i] += complex(a*c, a*s)
+			phases[k] = wrapPhase(phases[k] + 2*math.Pi*(fn*f-ctx.Band.Center)*dt)
+		}
+		// ssc's own phase accumulator is unused — the per-harmonic
+		// accumulators above integrate n·Freq() directly — but Step also
+		// advances the sweep position, which Freq() reads.
+		ssc.Step(dt, 0)
+	}
+}
+
+// UnmodulatedClock is a fixed-frequency system clock (RTC, UART, panel
+// backlight PWM, a neighbouring monitor's SMPS…) whose emissions do not
+// respond to program activity — part of the "thousands of periodic
+// signals that are not modulated by system activity" FASE must reject.
+type UnmodulatedClock struct {
+	Label string
+	F0    float64
+	// FundamentalDBm is the received fundamental power.
+	FundamentalDBm float64
+	// MaxHarmonics bounds the rendered comb (odd harmonics: square wave).
+	MaxHarmonics int
+	// WanderSigma/WanderTau give optional oscillator wander.
+	WanderSigma, WanderTau float64
+}
+
+// Name implements emsim.Component.
+func (g *UnmodulatedClock) Name() string { return g.Label }
+
+// Domain implements emsim.Emitter.
+func (g *UnmodulatedClock) Domain() activity.Domain { return activity.DomainNone }
+
+// AMModulated implements emsim.Emitter.
+func (g *UnmodulatedClock) AMModulated() bool { return false }
+
+// Carriers implements emsim.Emitter.
+func (g *UnmodulatedClock) Carriers(f1, f2 float64) []float64 {
+	var out []float64
+	for n := 1; n <= g.MaxHarmonics; n += 2 {
+		f := float64(n) * g.F0
+		if f >= f1 && f <= f2 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Render implements emsim.Component.
+func (g *UnmodulatedClock) Render(dst []complex128, ctx *emsim.Context) {
+	var ns []int
+	for n := 1; n <= g.MaxHarmonics; n += 2 {
+		if ctx.Band.Contains(float64(n) * g.F0) {
+			ns = append(ns, n)
+		}
+	}
+	if len(ns) == 0 {
+		return
+	}
+	r := ctx.Rand
+	dt := ctx.Dt()
+	a0 := math.Sqrt(math.Pow(10, g.FundamentalDBm/10))
+	wander := sig.OU{Sigma: g.WanderSigma, Tau: g.WanderTau}
+	wander.Init(r)
+	base := 2 * math.Pi * r.Float64()
+	phases := make([]float64, len(ns))
+	for i, n := range ns {
+		phases[i] = wrapPhase(float64(n) * base)
+	}
+	for i := range dst {
+		df := wander.Step(dt, r)
+		for k, n := range ns {
+			fn := float64(n)
+			a := a0 / fn
+			s, c := math.Sincos(phases[k])
+			dst[i] += complex(a*c, a*s)
+			phases[k] = wrapPhase(phases[k] + 2*math.Pi*(fn*(g.F0+df)-ctx.Band.Center)*dt)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package report holds the output containers experiments produce — data
+// series (figure reproductions) and tables — plus text/CSV renderers used
+// by the benchmark harness and the experiments command.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one curve of a reproduced figure.
+type Series struct {
+	Name string
+	// X is typically frequency (Hz), Y typically dBm or a score.
+	X, Y []float64
+}
+
+// Peak returns the (x, y) of the series' maximum; (0, -inf-ish) if empty.
+func (s Series) Peak() (float64, float64) {
+	if len(s.Y) == 0 {
+		return 0, -1e300
+	}
+	bi := 0
+	for i, v := range s.Y {
+		if v > s.Y[bi] {
+			bi = i
+		}
+	}
+	return s.X[bi], s.Y[bi]
+}
+
+// Table is a reproduced table (or detection list).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Output is everything one experiment produces.
+type Output struct {
+	ID     string // e.g. "fig11"
+	Title  string // what the paper shows
+	Series []Series
+	Tables []Table
+	// Notes record paper-vs-measured observations for EXPERIMENTS.md.
+	Notes []string
+}
+
+// FormatTable renders a table as aligned text.
+func FormatTable(t Table) string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatMarkdownTable renders a table as GitHub-flavored markdown.
+func FormatMarkdownTable(t Table) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// WriteCSV writes series as long-format CSV (series,x,y).
+func WriteCSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summarize renders a short, stable description of an output for
+// benchmark logs: series peaks and table row counts.
+func Summarize(o *Output) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s\n", o.ID, o.Title)
+	for _, s := range o.Series {
+		x, y := s.Peak()
+		fmt.Fprintf(&b, "  series %-28s %5d pts, peak %.6g at %.6g\n", s.Name, len(s.X), y, x)
+	}
+	for _, t := range o.Tables {
+		fmt.Fprintf(&b, "  table  %-28s %d rows\n", t.Title, len(t.Rows))
+	}
+	for _, n := range o.Notes {
+		fmt.Fprintf(&b, "  note   %s\n", n)
+	}
+	return b.String()
+}

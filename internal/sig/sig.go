@@ -1,0 +1,232 @@
+// Package sig provides the signal-generation primitives the EM emanation
+// simulator is built from: phase-noise processes for non-ideal oscillators,
+// rectangular pulse-train Fourier coefficients, and spread-spectrum sweep
+// profiles.
+//
+// The paper's §2.1 develops exactly these ingredients: digital clocks are
+// pulse trains whose harmonics' amplitudes depend on duty cycle; RC
+// oscillators (switching regulators) have Gaussian-looking frequency
+// wander; spread-spectrum clocks sweep their frequency periodically.
+package sig
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// OU is an Ornstein-Uhlenbeck process, the standard model for oscillator
+// frequency wander (jitter/phase noise): mean-reverting with stationary
+// standard deviation Sigma and correlation time Tau.
+type OU struct {
+	Sigma float64 // stationary RMS value
+	Tau   float64 // correlation time in seconds
+	x     float64
+}
+
+// Init draws the state from the stationary distribution so captures start
+// in steady state rather than at zero wander.
+func (p *OU) Init(r *rand.Rand) {
+	p.x = p.Sigma * r.NormFloat64()
+}
+
+// Step advances the process by dt seconds and returns the new value.
+func (p *OU) Step(dt float64, r *rand.Rand) float64 {
+	if p.Sigma == 0 {
+		return 0
+	}
+	if p.Tau <= 0 {
+		panic(fmt.Sprintf("sig: OU tau must be positive, got %g", p.Tau))
+	}
+	a := math.Exp(-dt / p.Tau)
+	// Exact discretization of the OU SDE.
+	p.x = a*p.x + p.Sigma*math.Sqrt(1-a*a)*r.NormFloat64()
+	return p.x
+}
+
+// Value returns the current state without advancing.
+func (p *OU) Value() float64 { return p.x }
+
+// Oscillator is a phase accumulator with optional OU frequency wander.
+// It produces the *offset* phase relative to a chosen reference frequency,
+// which is how complex-baseband renderers consume it.
+type Oscillator struct {
+	F0     float64 // nominal frequency, Hz
+	Wander OU      // frequency wander about F0 (Sigma = 0 for crystal)
+	phase  float64
+}
+
+// Start randomizes the initial phase and seeds the wander process. Call
+// once per capture.
+func (o *Oscillator) Start(r *rand.Rand) {
+	o.phase = 2 * math.Pi * r.Float64()
+	o.Wander.Init(r)
+}
+
+// Step advances the oscillator by dt against the reference frequency fref
+// and returns the current offset phase 2π·(F0−fref)·t + ∫wander. The first
+// call should be made before using the phase of sample 0? No: Step returns
+// the phase *after* advancing; call Phase() for the current value first.
+func (o *Oscillator) Step(dt, fref float64, r *rand.Rand) {
+	f := o.F0 - fref + o.Wander.Step(dt, r)
+	o.phase += 2 * math.Pi * f * dt
+}
+
+// Phase returns the current offset phase in radians.
+func (o *Oscillator) Phase() float64 { return o.phase }
+
+// PulseHarmonic returns the complex Fourier-series coefficient c_n of a
+// unit-amplitude rectangular pulse train with the given duty cycle
+// (0 < duty < 1), with the pulse starting at t=0:
+//
+//	c_n = duty · sinc(n·duty) · exp(−iπ·n·duty),  c_0 = duty.
+//
+// Properties the paper relies on (§2.1): at 50% duty, even harmonics
+// vanish; for small duty the first harmonics have nearly equal magnitude;
+// every harmonic's magnitude depends on duty, so duty-cycle (pulse-width)
+// modulation amplitude-modulates all harmonics at once.
+func PulseHarmonic(duty float64, n int) complex128 {
+	if duty <= 0 || duty >= 1 {
+		panic(fmt.Sprintf("sig: duty %g out of (0, 1)", duty))
+	}
+	if n < 0 {
+		n = -n
+	}
+	if n == 0 {
+		return complex(duty, 0)
+	}
+	x := float64(n) * duty
+	mag := duty * sinc(x)
+	return complex(mag, 0) * cmplx.Exp(complex(0, -math.Pi*x))
+}
+
+// sinc is the normalized sinc function sin(πx)/(πx).
+func sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	return math.Sin(math.Pi*x) / (math.Pi * x)
+}
+
+// SquareHarmonic returns the Fourier coefficient of a 50%-duty square wave
+// (a clock): odd harmonics only, magnitude 2/(πn) relative to the
+// fundamental's π/... — specifically c_n for the unit square wave in
+// [-1, 1] is 2/(iπn) for odd n, 0 for even n, 0 for n = 0 (DC removed).
+func SquareHarmonic(n int) complex128 {
+	if n < 0 {
+		n = -n
+	}
+	if n == 0 || n%2 == 0 {
+		return 0
+	}
+	return complex(0, -2/(math.Pi*float64(n)))
+}
+
+// SweepProfile is the instantaneous frequency offset profile of a
+// spread-spectrum clock, as a function of phase within the sweep period
+// (u in [0, 1)). Implementations return an offset in [-1, 1] that is
+// scaled by half the peak-to-peak spread.
+type SweepProfile interface {
+	Offset(u float64) float64
+	String() string
+}
+
+// TriangleSweep is the linear up/down sweep commonly used by SSC
+// generators ("swept back and forth", §4.3). Uniform dwell density with
+// turnaround points at the extremes.
+type TriangleSweep struct{}
+
+// Offset maps u ∈ [0,1) to a triangle in [-1, 1].
+func (TriangleSweep) Offset(u float64) float64 {
+	u = u - math.Floor(u)
+	if u < 0.5 {
+		return 4*u - 1
+	}
+	return 3 - 4*u
+}
+
+func (TriangleSweep) String() string { return "triangle" }
+
+// SineSweep dwells longest at the extremes, producing the pronounced
+// "horns" at the edges of the spread spectrum.
+type SineSweep struct{}
+
+// Offset maps u ∈ [0,1) to sin(2πu).
+func (SineSweep) Offset(u float64) float64 { return math.Sin(2 * math.Pi * u) }
+
+func (SineSweep) String() string { return "sine" }
+
+// SSC tracks the phase of a spread-spectrum clock: nominal frequency F0,
+// peak-to-peak spread SpreadHz applied as a down-spread (the swept
+// frequency stays in [F0−SpreadHz, F0]), sweeping at RateHz with the given
+// profile.
+type SSC struct {
+	F0       float64
+	SpreadHz float64
+	RateHz   float64
+	Profile  SweepProfile
+	phase    float64 // accumulated offset phase
+	u        float64 // position within sweep period
+}
+
+// Start randomizes the initial carrier phase and sweep position.
+func (s *SSC) Start(r *rand.Rand) {
+	s.phase = 2 * math.Pi * r.Float64()
+	s.u = r.Float64()
+}
+
+// Freq returns the current instantaneous frequency.
+func (s *SSC) Freq() float64 {
+	if s.Profile == nil || s.SpreadHz == 0 {
+		return s.F0
+	}
+	// Down-spread: center at F0 − Spread/2, swinging ±Spread/2.
+	return s.F0 - s.SpreadHz/2 + s.SpreadHz/2*s.Profile.Offset(s.u)
+}
+
+// Step advances by dt against reference frequency fref.
+func (s *SSC) Step(dt, fref float64) {
+	s.phase += 2 * math.Pi * (s.Freq() - fref) * dt
+	s.u += s.RateHz * dt
+	if s.u >= 1 {
+		s.u -= math.Floor(s.u)
+	}
+}
+
+// Phase returns the accumulated offset phase.
+func (s *SSC) Phase() float64 { return s.phase }
+
+// ImpulseKernel is a Hamming-windowed band-limited interpolation kernel
+// used to place sub-sample-accurate impulses (e.g. DRAM refresh pulses much
+// narrower than a sample period) into a sampled baseband stream.
+type ImpulseKernel struct {
+	halfTaps int
+}
+
+// NewImpulseKernel creates a kernel with the given half-width in samples
+// (total support 2·halfTaps+1). 8 is a good default.
+func NewImpulseKernel(halfTaps int) *ImpulseKernel {
+	if halfTaps < 1 {
+		panic(fmt.Sprintf("sig: impulse kernel half-width must be >= 1, got %d", halfTaps))
+	}
+	return &ImpulseKernel{halfTaps: halfTaps}
+}
+
+// Add deposits an impulse of the given complex area (in units of
+// value·seconds) at continuous sample position pos into dst, where dst is
+// sampled at rate fs. Positions outside dst are clipped sample-by-sample.
+func (k *ImpulseKernel) Add(dst []complex128, pos float64, area complex128, fs float64) {
+	center := int(math.Round(pos))
+	// The impulse in sample units has height area·fs distributed over the
+	// windowed sinc.
+	amp := area * complex(fs, 0)
+	for i := center - k.halfTaps; i <= center+k.halfTaps; i++ {
+		if i < 0 || i >= len(dst) {
+			continue
+		}
+		x := float64(i) - pos // distance from the impulse in samples
+		w := 0.54 + 0.46*math.Cos(math.Pi*x/float64(k.halfTaps+1))
+		dst[i] += amp * complex(sinc(x)*w, 0)
+	}
+}

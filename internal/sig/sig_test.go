@@ -1,0 +1,255 @@
+package sig
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOUStationaryStats(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	p := OU{Sigma: 2.5, Tau: 1e-3}
+	p.Init(r)
+	dt := 1e-5
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := p.Step(dt, r)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.2 {
+		t.Errorf("OU mean %g, want ~0", mean)
+	}
+	if math.Abs(std-2.5) > 0.3 {
+		t.Errorf("OU std %g, want ~2.5", std)
+	}
+}
+
+func TestOUZeroSigmaIsIdeal(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	p := OU{Sigma: 0, Tau: 1}
+	for i := 0; i < 10; i++ {
+		if p.Step(1e-6, r) != 0 {
+			t.Fatal("zero-sigma OU must stay at zero")
+		}
+	}
+}
+
+func TestOUCorrelationTime(t *testing.T) {
+	// Successive samples dt << tau apart must be strongly correlated.
+	r := rand.New(rand.NewSource(3))
+	p := OU{Sigma: 1, Tau: 1e-3}
+	p.Init(r)
+	prev := p.Step(1e-7, r)
+	var diffSum float64
+	n := 10000
+	for i := 0; i < n; i++ {
+		v := p.Step(1e-7, r)
+		diffSum += (v - prev) * (v - prev)
+		prev = v
+	}
+	// RMS step for dt = tau/10000 should be about sigma·sqrt(2dt/tau) ≈ 0.014.
+	rmsStep := math.Sqrt(diffSum / float64(n))
+	if rmsStep > 0.05 {
+		t.Errorf("OU steps too large for dt << tau: %g", rmsStep)
+	}
+}
+
+func TestOscillatorIdealPhaseRamp(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	o := Oscillator{F0: 1e6}
+	o.Start(r)
+	start := o.Phase()
+	dt := 1e-7
+	for i := 0; i < 1000; i++ {
+		o.Step(dt, 0.9e6, r)
+	}
+	// Offset frequency 100 kHz for 100 µs -> 2π·10 radians.
+	want := start + 2*math.Pi*10
+	if math.Abs(o.Phase()-want) > 1e-6 {
+		t.Errorf("phase %g, want %g", o.Phase(), want)
+	}
+}
+
+func TestPulseHarmonicProperties(t *testing.T) {
+	// DC coefficient equals duty.
+	if got := PulseHarmonic(0.3, 0); got != complex(0.3, 0) {
+		t.Errorf("c0 = %v", got)
+	}
+	// 50% duty: even harmonics vanish, odd follow 1/n.
+	for n := 2; n <= 8; n += 2 {
+		if m := cmplx.Abs(PulseHarmonic(0.5, n)); m > 1e-12 {
+			t.Errorf("even harmonic %d at 50%% duty: %g", n, m)
+		}
+	}
+	c1 := cmplx.Abs(PulseHarmonic(0.5, 1))
+	c3 := cmplx.Abs(PulseHarmonic(0.5, 3))
+	if math.Abs(c1/c3-3) > 1e-9 {
+		t.Errorf("odd harmonic ratio %g, want 3", c1/c3)
+	}
+	// Small duty: first few harmonics nearly equal (paper: refresh comb).
+	c1 = cmplx.Abs(PulseHarmonic(0.026, 1))
+	c5 := cmplx.Abs(PulseHarmonic(0.026, 5))
+	if c5/c1 < 0.95 {
+		t.Errorf("small-duty harmonics should be nearly flat: c5/c1 = %g", c5/c1)
+	}
+	// Negative harmonic index mirrors positive magnitude.
+	if cmplx.Abs(PulseHarmonic(0.2, -3)) != cmplx.Abs(PulseHarmonic(0.2, 3)) {
+		t.Error("negative harmonic magnitude mismatch")
+	}
+}
+
+func TestPulseHarmonicMonotoneInDuty(t *testing.T) {
+	// Property: while n·duty < 0.5, |c_n| = sin(πnd)/(πn) increases with
+	// duty — the paper's duty-cycle AM mechanism, in the regulators'
+	// small-duty regime.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		dMax := 0.45/float64(n) - 0.005
+		d := 0.02 + (dMax-0.02)*r.Float64()
+		return cmplx.Abs(PulseHarmonic(d+0.005, n)) > cmplx.Abs(PulseHarmonic(d, n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquareHarmonic(t *testing.T) {
+	if SquareHarmonic(0) != 0 || SquareHarmonic(2) != 0 || SquareHarmonic(4) != 0 {
+		t.Error("even square harmonics should vanish")
+	}
+	m1 := cmplx.Abs(SquareHarmonic(1))
+	m3 := cmplx.Abs(SquareHarmonic(3))
+	if math.Abs(m1-2/math.Pi) > 1e-12 || math.Abs(m1/m3-3) > 1e-9 {
+		t.Errorf("square harmonics wrong: %g %g", m1, m3)
+	}
+	if cmplx.Abs(SquareHarmonic(-3)) != m3 {
+		t.Error("negative square harmonic mismatch")
+	}
+}
+
+func TestSweepProfiles(t *testing.T) {
+	tri := TriangleSweep{}
+	if tri.Offset(0) != -1 || tri.Offset(0.25) != 0 || tri.Offset(0.5) != 1 || tri.Offset(0.75) != 0 {
+		t.Error("triangle profile wrong")
+	}
+	sin := SineSweep{}
+	if sin.Offset(0.25) != 1 || math.Abs(sin.Offset(0.5)) > 1e-12 {
+		t.Error("sine profile wrong")
+	}
+	for _, u := range []float64{0, 0.1, 0.33, 0.9, 1.7, -0.2} {
+		if v := tri.Offset(u); v < -1-1e-12 || v > 1+1e-12 {
+			t.Errorf("triangle out of range at %g: %g", u, v)
+		}
+	}
+	if tri.String() != "triangle" || sin.String() != "sine" {
+		t.Error("profile names wrong")
+	}
+}
+
+func TestSSCFrequencyBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	s := SSC{F0: 333e6, SpreadHz: 1e6, RateHz: 10e3, Profile: TriangleSweep{}}
+	s.Start(r)
+	dt := 1e-8
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 100000; i++ {
+		f := s.Freq()
+		lo = math.Min(lo, f)
+		hi = math.Max(hi, f)
+		s.Step(dt, 332.5e6)
+	}
+	if lo < 332e6-1 || hi > 333e6+1 {
+		t.Errorf("down-spread SSC out of [332, 333] MHz: [%g, %g]", lo, hi)
+	}
+	if hi-lo < 0.9e6 {
+		t.Errorf("sweep did not cover the spread: %g", hi-lo)
+	}
+}
+
+func TestSSCWithoutProfileIsFixed(t *testing.T) {
+	s := SSC{F0: 100e6}
+	if s.Freq() != 100e6 {
+		t.Error("profile-less SSC should sit at F0")
+	}
+}
+
+func TestImpulseKernelAreaAndPosition(t *testing.T) {
+	fs := 1e6
+	k := NewImpulseKernel(8)
+	dst := make([]complex128, 64)
+	k.Add(dst, 32.0, complex(2e-6, 0), fs) // area 2 µV·s
+	// Sum of samples × dt must equal the area (kernel integrates to 1).
+	var sum complex128
+	for _, v := range dst {
+		sum += v
+	}
+	got := real(sum) / fs
+	if math.Abs(got-2e-6) > 1e-8 {
+		t.Errorf("impulse area %g, want 2e-6", got)
+	}
+	// Peak sample at the impulse position.
+	maxI, maxV := 0, 0.0
+	for i, v := range dst {
+		if cmplx.Abs(v) > maxV {
+			maxI, maxV = i, cmplx.Abs(v)
+		}
+	}
+	if maxI != 32 {
+		t.Errorf("impulse peak at %d, want 32", maxI)
+	}
+}
+
+func TestImpulseKernelSubSample(t *testing.T) {
+	// An impulse between samples must split energy across neighbours and
+	// preserve area.
+	fs := 1.0
+	k := NewImpulseKernel(8)
+	dst := make([]complex128, 64)
+	k.Add(dst, 31.5, 1, fs)
+	var sum complex128
+	for _, v := range dst {
+		sum += v
+	}
+	if math.Abs(real(sum)-1) > 0.01 {
+		t.Errorf("sub-sample impulse area %g, want 1", real(sum))
+	}
+	if cmplx.Abs(dst[31]-dst[32]) > 1e-9 {
+		t.Errorf("half-way impulse should be symmetric: %v vs %v", dst[31], dst[32])
+	}
+}
+
+func TestImpulseKernelEdgeClip(t *testing.T) {
+	k := NewImpulseKernel(4)
+	dst := make([]complex128, 8)
+	// Should not panic at the edges.
+	k.Add(dst, -2, 1, 1)
+	k.Add(dst, 9.5, 1, 1)
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic(t, func() { PulseHarmonic(0, 1) })
+	mustPanic(t, func() { PulseHarmonic(1, 1) })
+	mustPanic(t, func() { NewImpulseKernel(0) })
+	r := rand.New(rand.NewSource(6))
+	mustPanic(t, func() {
+		p := OU{Sigma: 1, Tau: 0}
+		p.Step(1e-6, r)
+	})
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,165 @@
+// Package specan models the measurement instrument of the paper's setup —
+// the Agilent MXA spectrum analyzer behind the loop antenna.
+//
+// A sweep over [f1, f2] is performed in band segments: each segment is a
+// complex-baseband capture rendered by the scene, windowed, transformed,
+// amplitude-calibrated (see package spectral) and trace-averaged; segments
+// are stitched into one spectrum whose bins land exactly on the global
+// f1 + k·fres grid.
+package specan
+
+import (
+	"fmt"
+	"math"
+
+	"fase/internal/activity"
+	"fase/internal/dsp/fft"
+	"fase/internal/dsp/spectral"
+	"fase/internal/dsp/window"
+	"fase/internal/emsim"
+)
+
+// Config tunes the analyzer.
+type Config struct {
+	// Fres is the resolution bandwidth (bin spacing), Hz.
+	Fres float64
+	// Averages is the number of traces averaged per segment (the paper
+	// averages 4 captures, §3). Zero means 4.
+	Averages int
+	// Window selects the FFT window; the zero value selects
+	// Blackman-Harris, whose -92 dB side lobes keep strong AM stations
+	// from burying the µW-level system signals.
+	Window window.Type
+	// MaxFFT caps the per-segment transform size (power of two). Zero
+	// means 1<<17.
+	MaxFFT int
+	// UsableFrac is the fraction of each segment's bandwidth kept after
+	// discarding band edges. Zero means 0.75.
+	UsableFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Averages == 0 {
+		c.Averages = 4
+	}
+	if c.Window == window.Rectangular {
+		c.Window = window.BlackmanHarris
+	}
+	if c.MaxFFT == 0 {
+		c.MaxFFT = 1 << 17
+	}
+	if c.UsableFrac == 0 {
+		c.UsableFrac = 0.75
+	}
+	if c.Fres <= 0 {
+		panic(fmt.Sprintf("specan: resolution bandwidth must be positive, got %g", c.Fres))
+	}
+	return c
+}
+
+// Analyzer performs swept spectrum measurements of a scene.
+type Analyzer struct {
+	cfg Config
+}
+
+// New creates an analyzer. See Config for defaults.
+func New(cfg Config) *Analyzer {
+	return &Analyzer{cfg: cfg.withDefaults()}
+}
+
+// Fres returns the configured resolution bandwidth.
+func (a *Analyzer) Fres() float64 { return a.cfg.Fres }
+
+// plan describes the segmentation of a sweep.
+type plan struct {
+	nfft     int
+	fs       float64
+	needBins int
+	perSeg   int
+	segs     int
+}
+
+func (a *Analyzer) planSweep(f1, f2 float64) plan {
+	if f2 <= f1 {
+		panic(fmt.Sprintf("specan: empty sweep [%g, %g]", f1, f2))
+	}
+	needBins := int(math.Round((f2 - f1) / a.cfg.Fres))
+	if needBins < 1 {
+		needBins = 1
+	}
+	nfft := fft.NextPow2(int(math.Ceil(float64(needBins) / a.cfg.UsableFrac)))
+	if nfft > a.cfg.MaxFFT {
+		nfft = a.cfg.MaxFFT
+	}
+	if nfft < 64 {
+		nfft = 64
+	}
+	perSeg := int(float64(nfft) * a.cfg.UsableFrac)
+	segs := (needBins + perSeg - 1) / perSeg
+	return plan{nfft: nfft, fs: float64(nfft) * a.cfg.Fres, needBins: needBins, perSeg: perSeg, segs: segs}
+}
+
+// CaptureDuration returns the observation time of a single trace of a
+// sweep over [f1, f2] (1/fres).
+func (a *Analyzer) CaptureDuration() float64 { return 1 / a.cfg.Fres }
+
+// TotalDuration returns how much activity-trace time a sweep consumes:
+// segments × averages × capture duration.
+func (a *Analyzer) TotalDuration(f1, f2 float64) float64 {
+	p := a.planSweep(f1, f2)
+	return float64(p.segs*a.cfg.Averages) * a.CaptureDuration()
+}
+
+// Request is one sweep specification.
+type Request struct {
+	Scene  *emsim.Scene
+	F1, F2 float64
+	// Activity is the program-activity envelope during the sweep (nil =
+	// idle machine).
+	Activity *activity.Trace
+	// Seed controls the measurement noise; sweeps with different seeds
+	// are independent observations.
+	Seed int64
+	// NearField enables the localization probe model.
+	NearField bool
+	// NearFieldGainDB is the probe gain (e.g. 30 dB); only meaningful
+	// with NearField.
+	NearFieldGainDB float64
+}
+
+// Sweep measures the spectrum of the scene over [F1, F2].
+func (a *Analyzer) Sweep(req Request) *spectral.Spectrum {
+	if req.Scene == nil {
+		panic("specan: sweep without a scene")
+	}
+	p := a.planSweep(req.F1, req.F2)
+	dur := a.CaptureDuration()
+	parts := make([]*spectral.Spectrum, 0, p.segs)
+	capIdx := 0
+	for s := 0; s < p.segs; s++ {
+		binStart := s * p.perSeg
+		bins := p.perSeg
+		if binStart+bins > p.needBins {
+			bins = p.needBins - binStart
+		}
+		fStart := req.F1 + float64(binStart)*a.cfg.Fres
+		center := fStart + float64(bins)/2*a.cfg.Fres
+		band := emsim.Band{Center: center, SampleRate: p.fs}
+		var avg spectral.Averager
+		for t := 0; t < a.cfg.Averages; t++ {
+			samples := req.Scene.Render(emsim.Capture{
+				Band:            band,
+				Start:           float64(capIdx) * dur,
+				N:               p.nfft,
+				Activity:        req.Activity,
+				Seed:            req.Seed + int64(capIdx)*7919,
+				NearField:       req.NearField,
+				NearFieldGainDB: req.NearFieldGainDB,
+			})
+			avg.Add(spectral.Periodogram(samples, p.fs, center, a.cfg.Window))
+			capIdx++
+		}
+		parts = append(parts, avg.Mean().Slice(fStart, fStart+float64(bins)*a.cfg.Fres))
+	}
+	return spectral.Stitch(parts)
+}
