@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race bench-smoke
+
+# ci is the full gate: formatting, vet, build, tests (with the race
+# detector), and a short benchmark smoke run.
+ci: fmt-check vet build race bench-smoke
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke runs the pipeline micro-benchmarks once each — enough to
+# catch a benchmark that no longer compiles or panics, without the cost of
+# a full timing run.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkSceneRender|BenchmarkPeriodogram|BenchmarkSweep$$|BenchmarkCampaignNarrowband' -benchtime 1x .

@@ -16,8 +16,12 @@ import (
 	"testing"
 
 	"fase"
+	"fase/internal/dsp/spectral"
+	"fase/internal/dsp/window"
+	"fase/internal/emsim"
 	"fase/internal/experiments"
 	"fase/internal/report"
+	"fase/internal/specan"
 )
 
 var printOnce sync.Map
@@ -89,6 +93,62 @@ func BenchmarkFIVRBandwidth(b *testing.B)     { runExperiment(b, "fivr-bandwidth
 func BenchmarkPairRobustness(b *testing.B)    { runExperiment(b, "pair-robustness") }
 func BenchmarkCarrierTracking(b *testing.B)   { runExperiment(b, "carrier-tracking") }
 func BenchmarkCampaign2Sweep(b *testing.B)    { runExperiment(b, "campaign2-sweep") }
+
+// benchScene builds the i7 desktop scene the pipeline benchmarks share.
+func benchScene(b *testing.B) *emsim.Scene {
+	b.Helper()
+	sys, err := fase.LookupSystem("i7-desktop")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys.Scene(1, true)
+}
+
+// BenchmarkSceneRender times one capture render — the inner loop of every
+// sweep (4096 samples, the narrowband campaign's segment size).
+func BenchmarkSceneRender(b *testing.B) {
+	scene := benchScene(b)
+	const n = 4096
+	dst := make([]complex128, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scene.RenderInto(dst, emsim.Capture{
+			Band: emsim.Band{Center: 400e3, SampleRate: 409600},
+			N:    n, Seed: int64(i),
+		})
+	}
+}
+
+// BenchmarkPeriodogram times the window+FFT+calibrate stage on one
+// capture.
+func BenchmarkPeriodogram(b *testing.B) {
+	scene := benchScene(b)
+	const n = 4096
+	buf := make([]complex128, n)
+	scene.RenderInto(buf, emsim.Capture{
+		Band: emsim.Band{Center: 400e3, SampleRate: 409600}, N: n, Seed: 7,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spectral.Periodogram(buf, 409600, 400e3, window.BlackmanHarris)
+	}
+}
+
+// BenchmarkSweep times one full analyzer sweep over the regulator band.
+func BenchmarkSweep(b *testing.B) {
+	scene := benchScene(b)
+	an := specan.New(specan.Config{Fres: 100})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := an.Sweep(specan.Request{Scene: scene, F1: 250e3, F2: 550e3, Seed: int64(i)})
+		if sp.Bins() == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
 
 // BenchmarkCampaignNarrowband times the core FASE pipeline (5 sweeps +
 // scoring + detection) on a regulator-band campaign — the unit of work an

@@ -52,6 +52,11 @@ type Campaign struct {
 	Jitter *microbench.Jitter
 	// Seed drives all randomness in the campaign.
 	Seed int64
+	// Parallelism bounds how many captures render concurrently across the
+	// campaign's NumAlts simultaneous sweeps (they share one analyzer).
+	// Zero means runtime.GOMAXPROCS(0). Results are bit-identical for any
+	// setting — see specan.Config.Parallelism.
+	Parallelism int
 }
 
 func (c Campaign) withDefaults() Campaign {
@@ -186,7 +191,7 @@ func (r *Runner) Run(c Campaign) *Result {
 	if r.Scene == nil {
 		panic("core: Runner needs a Scene")
 	}
-	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages})
+	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism})
 	res := &Result{Campaign: c}
 	falts := c.FAlts()
 	// The per-f_alt measurements are independent (each has its own seeds

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -403,6 +404,43 @@ func TestCampaignDeterministic(t *testing.T) {
 	for i := range a.Detections {
 		if a.Detections[i].Freq != b.Detections[i].Freq || a.Detections[i].Score != b.Detections[i].Score {
 			t.Fatal("non-deterministic detections")
+		}
+	}
+}
+
+func TestCampaignParallelismInvariant(t *testing.T) {
+	// A campaign's output must not depend on the Parallelism knob: every
+	// measurement spectrum and every detection must match a Parallelism-1
+	// run bit for bit.
+	_, scene := regulatorScene()
+	runner := &Runner{Scene: scene}
+	run := func(par int) *Result {
+		return runner.Run(Campaign{F1: 0.3e6, F2: 0.34e6, Fres: 100,
+			FAlt1: 10e3, FDelta: 1e3, X: activity.LDM, Y: activity.LDL1,
+			Seed: 24, Parallelism: par})
+	}
+	seq := run(1)
+	par := run(4)
+	for i, m := range par.Measurements {
+		want := seq.Measurements[i].Spectrum
+		if m.Spectrum.Bins() != want.Bins() {
+			t.Fatalf("measurement %d: %d bins, want %d", i, m.Spectrum.Bins(), want.Bins())
+		}
+		for k := range m.Spectrum.PmW {
+			if math.Float64bits(m.Spectrum.PmW[k]) != math.Float64bits(want.PmW[k]) {
+				t.Fatalf("measurement %d bin %d differs between Parallelism 4 and 1", i, k)
+			}
+		}
+	}
+	if len(par.Detections) != len(seq.Detections) {
+		t.Fatalf("detections: %d parallel vs %d sequential", len(par.Detections), len(seq.Detections))
+	}
+	for i := range par.Detections {
+		a, b := par.Detections[i], seq.Detections[i]
+		if a.Freq != b.Freq || a.Score != b.Score || a.BestHarmonic != b.BestHarmonic ||
+			a.MagnitudeDBm != b.MagnitudeDBm || a.DepthDB != b.DepthDB ||
+			!slices.Equal(a.Harmonics, b.Harmonics) {
+			t.Fatalf("detection %d differs: %+v vs %+v", i, a, b)
 		}
 	}
 }

@@ -1,0 +1,57 @@
+// Package bufpool provides size-checked sync.Pool-backed scratch buffers
+// for the rendering pipeline's hot path: complex-baseband capture buffers
+// and periodogram bin arrays. In steady state (repeated sweeps of the same
+// geometry) every Get is served from the pool and the pipeline allocates
+// nothing per capture.
+//
+// Buffers come back dirty: callers must overwrite every element (or zero
+// the buffer themselves) before use.
+package bufpool
+
+import "sync"
+
+var complexPool sync.Pool // *[]complex128
+var floatPool sync.Pool   // *[]float64
+
+// Complex returns a dirty []complex128 of length n from the pool,
+// allocating only when no pooled buffer is large enough.
+func Complex(n int) []complex128 {
+	if v := complexPool.Get(); v != nil {
+		b := *(v.(*[]complex128))
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]complex128, n)
+}
+
+// PutComplex returns a buffer obtained from Complex to the pool. The
+// caller must not use b afterwards.
+func PutComplex(b []complex128) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	complexPool.Put(&b)
+}
+
+// Float returns a dirty []float64 of length n from the pool.
+func Float(n int) []float64 {
+	if v := floatPool.Get(); v != nil {
+		b := *(v.(*[]float64))
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// PutFloat returns a buffer obtained from Float to the pool. The caller
+// must not use b afterwards.
+func PutFloat(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	floatPool.Put(&b)
+}

@@ -30,7 +30,7 @@ func AnalyticSignal(x []float64) []complex128 {
 	for i, v := range x {
 		buf[i] = complex(v, 0)
 	}
-	plan := fft.NewPlan(n)
+	plan := fft.PlanFor(n)
 	plan.Forward(buf)
 	// Keep DC, double positive frequencies, zero negative frequencies.
 	// For even n the Nyquist bin (n/2) is kept unscaled.
@@ -136,10 +136,10 @@ func STFT(x []complex128, fs, fc float64, frameLen, hop int, wt window.Type) *Sp
 	if len(x) < frameLen {
 		panic(fmt.Sprintf("demod: capture of %d samples shorter than frame %d", len(x), frameLen))
 	}
-	w := window.New(wt, frameLen)
-	cg := window.CoherentGain(w)
-	norm := 1 / (float64(frameLen) * cg)
-	plan := fft.NewPlan(frameLen)
+	pc := window.For(wt, frameLen)
+	w := pc.W
+	norm := 1 / (float64(frameLen) * pc.CoherentGain)
+	plan := fft.PlanFor(frameLen)
 	buf := make([]complex128, frameLen)
 	sg := &Spectrogram{FrameHop: hop, FrameLen: frameLen, Fs: fs, Fc: fc}
 	for start := 0; start+frameLen <= len(x); start += hop {

@@ -3,10 +3,12 @@
 // Power-of-two lengths use an iterative in-place radix-2 Cooley-Tukey
 // transform; all other lengths fall back to Bluestein's chirp-z algorithm,
 // which reduces a length-n DFT to a power-of-two circular convolution.
-// Plans cache twiddle factors and scratch buffers so repeated transforms of
-// the same length allocate nothing. Power-of-two plans are safe for
-// concurrent Forward/Inverse calls (their tables are read-only after
-// construction); Bluestein plans own scratch buffers and are not.
+// Plans cache twiddle factors so repeated transforms of the same length
+// allocate nothing in steady state, and every plan is safe for concurrent
+// Forward/Inverse calls: the precomputed tables are read-only after
+// construction and Bluestein work buffers are drawn from a per-plan pool.
+// PlanFor caches plans process-wide, which is what the parallel rendering
+// pipeline uses.
 //
 // The forward transform computes X[k] = sum_n x[n]·exp(-i2πkn/N) with no
 // normalization; the inverse divides by N so that Inverse(Forward(x)) == x.
@@ -17,11 +19,11 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // Plan holds precomputed twiddle factors for transforms of a fixed size.
-// A Plan is safe for sequential reuse; it is not safe for concurrent use
-// because it owns scratch buffers.
+// Plans are safe for concurrent use by multiple goroutines.
 type Plan struct {
 	n int
 
@@ -34,7 +36,22 @@ type Plan struct {
 	chirp   []complex128 // exp(-iπk²/n), k = 0..n-1
 	bfft    *Plan        // radix-2 plan of length m
 	bk      []complex128 // FFT of the chirp filter, length m
-	scratch []complex128 // length m work buffer
+	scratch sync.Pool    // *[]complex128 length-m work buffers
+}
+
+// planCache backs PlanFor: transform length -> *Plan.
+var planCache sync.Map
+
+// PlanFor returns a process-wide shared plan for length n, creating and
+// caching it on first use. Because plans are immutable after construction
+// (Bluestein scratch is pooled per call), the returned plan is safe for
+// concurrent use from any number of goroutines.
+func PlanFor(n int) *Plan {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*Plan)
+	}
+	v, _ := planCache.LoadOrStore(n, NewPlan(n))
+	return v.(*Plan)
 }
 
 // NewPlan creates a transform plan for length n. n must be positive.
@@ -95,7 +112,16 @@ func (p *Plan) initBluestein() {
 	}
 	p.bfft.forwardPow2(b)
 	p.bk = b
-	p.scratch = make([]complex128, m)
+}
+
+// getScratch rents a length-m work buffer. Buffers are pooled per plan so
+// concurrent Bluestein transforms never share scratch state.
+func (p *Plan) getScratch() *[]complex128 {
+	if v := p.scratch.Get(); v != nil {
+		return v.(*[]complex128)
+	}
+	b := make([]complex128, p.m)
+	return &b
 }
 
 // Forward transforms x in place. len(x) must equal the plan length.
@@ -156,7 +182,9 @@ func (p *Plan) bluestein(x []complex128, inverse bool) {
 	if inverse {
 		conjugate(x)
 	}
-	a := p.scratch
+	ap := p.getScratch()
+	defer p.scratch.Put(ap)
+	a := *ap
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * p.chirp[k]
 	}
@@ -197,7 +225,7 @@ func scale(x []complex128, s float64) {
 func Forward(x []complex128) []complex128 {
 	out := make([]complex128, len(x))
 	copy(out, x)
-	NewPlan(len(x)).Forward(out)
+	PlanFor(len(x)).Forward(out)
 	return out
 }
 
@@ -206,7 +234,7 @@ func Forward(x []complex128) []complex128 {
 func Inverse(x []complex128) []complex128 {
 	out := make([]complex128, len(x))
 	copy(out, x)
-	NewPlan(len(x)).Inverse(out)
+	PlanFor(len(x)).Inverse(out)
 	return out
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"fase/internal/dsp/bufpool"
 	"fase/internal/dsp/fft"
 	"fase/internal/dsp/window"
 )
@@ -188,36 +189,47 @@ func MwFromDBm(d float64) float64 { return math.Pow(10, d/10) }
 // Periodogram computes an amplitude-calibrated power spectrum of a
 // complex-baseband capture x sampled at fs and centered at fc. The result
 // has len(x) bins spanning [fc-fs/2, fc+fs/2) in ascending frequency.
-// x is not modified.
+// x is not modified. Window tables and FFT plans come from process-wide
+// caches, and the transform scratch is pooled, so repeated calls of one
+// geometry allocate only the returned Spectrum.
 func Periodogram(x []complex128, fs, fc float64, wt window.Type) *Spectrum {
 	n := len(x)
 	if n == 0 {
 		panic("spectral: empty capture")
 	}
-	w := window.New(wt, n)
-	return periodogramWith(x, fs, fc, w, fft.NewPlan(n))
+	buf := bufpool.Complex(n)
+	copy(buf, x)
+	s := &Spectrum{PmW: make([]float64, n)}
+	PeriodogramInPlace(s, buf, fs, fc, wt)
+	bufpool.PutComplex(buf)
+	return s
 }
 
-func periodogramWith(x []complex128, fs, fc float64, w []float64, plan *fft.Plan) *Spectrum {
+// PeriodogramInPlace is the allocation-free core of Periodogram: it uses x
+// as the transform buffer (destroying its contents) and writes the result
+// into out, whose PmW must already have len(x) elements. out's F0 and Fres
+// are overwritten. The sweep worker pool pairs this with pooled capture
+// and bin buffers to keep the steady-state render path allocation-free.
+func PeriodogramInPlace(out *Spectrum, x []complex128, fs, fc float64, wt window.Type) {
 	n := len(x)
-	buf := make([]complex128, n)
-	copy(buf, x)
-	window.Apply(buf, w)
-	plan.Forward(buf)
-	fft.Shift(buf)
-	cg := window.CoherentGain(w)
-	norm := 1 / (float64(n) * cg)
+	if n == 0 {
+		panic("spectral: empty capture")
+	}
+	if len(out.PmW) != n {
+		panic(fmt.Sprintf("spectral: output has %d bins for a %d-sample capture", len(out.PmW), n))
+	}
+	pc := window.For(wt, n)
+	window.Apply(x, pc.W)
+	fft.PlanFor(n).Forward(x)
+	fft.Shift(x)
+	norm := 1 / (float64(n) * pc.CoherentGain)
 	fres := fs / float64(n)
-	s := &Spectrum{
-		F0:   fc - fres*float64(n/2),
-		Fres: fres,
-		PmW:  make([]float64, n),
-	}
-	for i, v := range buf {
+	out.F0 = fc - fres*float64(n/2)
+	out.Fres = fres
+	for i, v := range x {
 		a := real(v)*real(v) + imag(v)*imag(v)
-		s.PmW[i] = a * norm * norm
+		out.PmW[i] = a * norm * norm
 	}
-	return s
 }
 
 // Averager accumulates power spectra with identical geometry and yields

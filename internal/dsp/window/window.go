@@ -11,6 +11,7 @@ package window
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Type enumerates the supported window functions.
@@ -95,6 +96,43 @@ func New(t Type, n int) []float64 {
 		w[i] = v
 	}
 	return w
+}
+
+// Precomputed is a cached window table plus its calibration constants,
+// shared process-wide. W must be treated as read-only.
+type Precomputed struct {
+	Type Type
+	N    int
+	// W holds the n window samples (shared: do not modify).
+	W []float64
+	// CoherentGain is CoherentGain(W), cached.
+	CoherentGain float64
+	// NENBW is NENBW(W), cached.
+	NENBW float64
+}
+
+type tableKey struct {
+	t Type
+	n int
+}
+
+// tableCache backs For: (type, length) -> *Precomputed.
+var tableCache sync.Map
+
+// For returns the cached window table for (t, n), computing and caching it
+// on first use. The returned table is shared between callers and safe for
+// concurrent reads; it must not be modified. Rendering pipelines use this
+// instead of New so repeated transforms of one geometry cost no window
+// synthesis and no allocation.
+func For(t Type, n int) *Precomputed {
+	key := tableKey{t: t, n: n}
+	if v, ok := tableCache.Load(key); ok {
+		return v.(*Precomputed)
+	}
+	w := New(t, n)
+	pc := &Precomputed{Type: t, N: n, W: w, CoherentGain: CoherentGain(w), NENBW: NENBW(w)}
+	v, _ := tableCache.LoadOrStore(key, pc)
+	return v.(*Precomputed)
 }
 
 // CoherentGain returns the mean of the window samples. Dividing a windowed

@@ -13,6 +13,7 @@ package emsim
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"fase/internal/activity"
 )
@@ -55,12 +56,16 @@ type Context struct {
 // Dt returns the sample period.
 func (c *Context) Dt() float64 { return 1 / c.Band.SampleRate }
 
+// idleTrace is the shared constant-idle envelope used when a capture has
+// no activity trace (read-only, so safe to share between captures).
+var idleTrace = activity.NewConstant(activity.LoadOf(activity.Idle))
+
 // Loads returns an activity cursor for the capture, treating a nil
 // activity trace as idle.
 func (c *Context) Loads() *activity.Cursor {
 	tr := c.Activity
 	if tr == nil {
-		tr = activity.NewConstant(activity.LoadOf(activity.Idle))
+		tr = idleTrace
 	}
 	return tr.Cursor()
 }
@@ -122,29 +127,68 @@ type Capture struct {
 	NearFieldGainDB float64
 }
 
+// renderScratch holds the per-capture PRNG and context state RenderInto
+// reuses between captures. Re-seeding a pooled generator produces exactly
+// the same stream as constructing a fresh one, so pooling does not change
+// rendered output.
+type renderScratch struct {
+	root, child *rand.Rand
+	ctx         Context
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &renderScratch{
+		root:  rand.New(rand.NewSource(0)),
+		child: rand.New(rand.NewSource(0)),
+	}
+}}
+
 // Render produces the complex-baseband samples for a capture.
 func (s *Scene) Render(cap Capture) []complex128 {
+	dst := make([]complex128, cap.N)
+	s.RenderInto(dst, cap)
+	return dst
+}
+
+// RenderInto renders a capture into dst, which must have exactly cap.N
+// elements; dst is overwritten. It is the allocation-free form of Render
+// used by the sweep worker pool: all per-capture bookkeeping comes from a
+// pool, so only component-internal state allocates. Concurrent RenderInto
+// calls on one Scene are safe as long as every component's Render is
+// (all components in this repository are).
+func (s *Scene) RenderInto(dst []complex128, cap Capture) {
 	if cap.N <= 0 {
 		panic(fmt.Sprintf("emsim: capture length %d must be positive", cap.N))
 	}
 	if cap.Band.SampleRate <= 0 {
 		panic(fmt.Sprintf("emsim: sample rate %g must be positive", cap.Band.SampleRate))
 	}
-	root := rand.New(rand.NewSource(cap.Seed))
-	dst := make([]complex128, cap.N)
-	for _, c := range s.Components {
-		ctx := &Context{
-			Band:            cap.Band,
-			Start:           cap.Start,
-			N:               cap.N,
-			Rand:            rand.New(rand.NewSource(root.Int63())),
-			Activity:        cap.Activity,
-			NearField:       cap.NearField,
-			NearFieldGainDB: cap.NearFieldGainDB,
-		}
-		c.Render(dst, ctx)
+	if len(dst) != cap.N {
+		panic(fmt.Sprintf("emsim: destination has %d samples for a %d-sample capture", len(dst), cap.N))
 	}
-	return dst
+	for i := range dst {
+		dst[i] = 0
+	}
+	sc := scratchPool.Get().(*renderScratch)
+	sc.root.Seed(cap.Seed)
+	sc.ctx = Context{
+		Band:            cap.Band,
+		Start:           cap.Start,
+		N:               cap.N,
+		Activity:        cap.Activity,
+		NearField:       cap.NearField,
+		NearFieldGainDB: cap.NearFieldGainDB,
+	}
+	for _, c := range s.Components {
+		// Each component draws from its own child stream (same derivation
+		// as seeding a fresh generator with root.Int63()).
+		sc.child.Seed(sc.root.Int63())
+		sc.ctx.Rand = sc.child
+		c.Render(dst, &sc.ctx)
+	}
+	sc.ctx.Rand = nil
+	sc.ctx.Activity = nil
+	scratchPool.Put(sc)
 }
 
 // GroundTruthCarrier is one expected detection for validation.

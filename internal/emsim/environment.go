@@ -3,12 +3,18 @@ package emsim
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
 	"math/rand"
 	"sync"
 
+	"fase/internal/dsp/bufpool"
 	"fase/internal/dsp/fft"
+	"fase/internal/sig"
 )
+
+// audioRandPool recycles the seeded generator stations use to derive
+// their stationary program-audio spectrum each render; re-seeding a
+// pooled generator reproduces exactly the stream a fresh one would give.
+var audioRandPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
 
 // AMStation is an AM broadcast transmitter: a strong carrier
 // amplitude-modulated by program audio. It is exactly the signal class
@@ -35,6 +41,9 @@ func (a *AMStation) Name() string { return fmt.Sprintf("AM station %s @ %.0f kHz
 
 // Render implements Component: carrier × (1 + depth·audio(t)), where the
 // audio is a random mixture of low-frequency tones (program content).
+// The carrier offset and the audio tones all advance by a fixed phase per
+// sample, so the whole station is synthesized with phasor rotations — no
+// per-sample trig.
 func (a *AMStation) Render(dst []complex128, ctx *Context) {
 	if !ctx.Band.Contains(a.Freq) {
 		return
@@ -46,14 +55,16 @@ func (a *AMStation) Render(dst []complex128, ctx *Context) {
 	// Program audio: three tones between 300 Hz and 4 kHz. Frequencies
 	// and relative amplitudes are fixed per station (stationary program
 	// spectrum); phases are drawn per capture.
-	ar := rand.New(rand.NewSource(a.AudioSeed ^ int64(a.Freq)))
-	type toneT struct{ f, p, amp float64 }
-	tones := make([]toneT, 3)
+	ar := audioRandPool.Get().(*rand.Rand)
+	ar.Seed(a.AudioSeed ^ int64(a.Freq))
+	var tones [3]struct{ f, p, amp float64 }
 	var ampSum float64
 	for i := range tones {
-		tones[i] = toneT{f: 300 + 3700*ar.Float64(), amp: 0.3 + 0.7*ar.Float64()}
+		tones[i].f = 300 + 3700*ar.Float64()
+		tones[i].amp = 0.3 + 0.7*ar.Float64()
 		ampSum += tones[i].amp
 	}
+	audioRandPool.Put(ar)
 	for i := range tones {
 		tones[i].amp /= ampSum
 		tones[i].p = 2 * math.Pi * ctx.Rand.Float64()
@@ -62,14 +73,19 @@ func (a *AMStation) Render(dst []complex128, ctx *Context) {
 	phase0 := 2 * math.Pi * ctx.Rand.Float64()
 	dt := ctx.Dt()
 	off := 2 * math.Pi * (a.Freq - ctx.Band.Center)
+	car := sig.NewRotator(off*ctx.Start+phase0, off*dt)
+	var audioRot [3]sig.Rotator
+	for i, tn := range tones {
+		audioRot[i] = sig.NewRotator(2*math.Pi*tn.f*ctx.Start+tn.p, 2*math.Pi*tn.f*dt)
+	}
 	for i := range dst {
-		t := ctx.Start + float64(i)*dt
 		var audio float64
-		for _, tn := range tones {
-			audio += tn.amp * math.Sin(2*math.Pi*tn.f*t+tn.p)
+		for j := range audioRot {
+			audio += tones[j].amp * imag(audioRot[j].Next())
 		}
 		env := amp * (1 + depth*audio)
-		dst[i] += complex(env, 0) * cmplx.Exp(complex(0, off*t+phase0))
+		c := car.Next()
+		dst[i] += complex(env*real(c), env*imag(c))
 	}
 }
 
@@ -90,7 +106,9 @@ type FMStation struct {
 // Name implements Component.
 func (s *FMStation) Name() string { return fmt.Sprintf("FM station %s @ %.1f MHz", s.Call, s.Freq/1e6) }
 
-// Render implements Component.
+// Render implements Component. The audio tones are synthesized by phasor
+// rotation; the carrier keeps a per-sample Sincos because its phase
+// increment varies with the audio (frequency modulation).
 func (s *FMStation) Render(dst []complex128, ctx *Context) {
 	if !ctx.Band.Contains(s.Freq) {
 		return
@@ -99,14 +117,16 @@ func (s *FMStation) Render(dst []complex128, ctx *Context) {
 	if dev == 0 {
 		dev = 75e3
 	}
-	ar := rand.New(rand.NewSource(s.AudioSeed ^ int64(s.Freq)))
-	type toneT struct{ f, p, amp float64 }
-	tones := make([]toneT, 3)
+	ar := audioRandPool.Get().(*rand.Rand)
+	ar.Seed(s.AudioSeed ^ int64(s.Freq))
+	var tones [3]struct{ f, p, amp float64 }
 	var ampSum float64
 	for i := range tones {
-		tones[i] = toneT{f: 300 + 7000*ar.Float64(), amp: 0.3 + 0.7*ar.Float64()}
+		tones[i].f = 300 + 7000*ar.Float64()
+		tones[i].amp = 0.3 + 0.7*ar.Float64()
 		ampSum += tones[i].amp
 	}
+	audioRandPool.Put(ar)
 	for i := range tones {
 		tones[i].amp /= ampSum
 		tones[i].p = 2 * math.Pi * ctx.Rand.Float64()
@@ -115,11 +135,14 @@ func (s *FMStation) Render(dst []complex128, ctx *Context) {
 	dt := ctx.Dt()
 	phase := 2 * math.Pi * ctx.Rand.Float64()
 	base := 2 * math.Pi * (s.Freq - ctx.Band.Center)
+	var audioRot [3]sig.Rotator
+	for i, tn := range tones {
+		audioRot[i] = sig.NewRotator(2*math.Pi*tn.f*ctx.Start+tn.p, 2*math.Pi*tn.f*dt)
+	}
 	for i := range dst {
-		t := ctx.Start + float64(i)*dt
 		var audio float64
-		for _, tn := range tones {
-			audio += tn.amp * math.Sin(2*math.Pi*tn.f*t+tn.p)
+		for j := range audioRot {
+			audio += tones[j].amp * imag(audioRot[j].Next())
 		}
 		sn, cs := math.Sincos(phase)
 		dst[i] += complex(amp*cs, amp*sn)
@@ -139,17 +162,13 @@ type Hill struct {
 // Background renders the thermal noise floor plus colored-noise hills. It
 // synthesizes the noise in the frequency domain so the per-bin density
 // follows the configured shape exactly. Safe for concurrent Render calls:
-// power-of-two plans carry only read-only state after construction and
-// are shared under a lock; other sizes build a fresh plan per call
-// (Bluestein plans own scratch buffers).
+// plans come from the process-wide fft.PlanFor cache, which is
+// concurrency-safe for every transform length.
 type Background struct {
 	// FloorDBmPerHz is the flat noise density (e.g. -170 for a typical
 	// receive chain noise figure over kT = -174 dBm/Hz).
 	FloorDBmPerHz float64
 	Hills         []Hill
-
-	mu    sync.Mutex
-	plans map[int]*fft.Plan
 }
 
 // Name implements Component.
@@ -168,30 +187,12 @@ func (b *Background) densityMwPerHz(f float64) float64 {
 // Render implements Component.
 func (b *Background) Render(dst []complex128, ctx *Context) {
 	n := ctx.N
-	var plan *fft.Plan
-	if n&(n-1) == 0 {
-		// Power-of-two plans are concurrency-safe to share (twiddle and
-		// bit-reversal tables are read-only after construction).
-		b.mu.Lock()
-		if b.plans == nil {
-			b.plans = make(map[int]*fft.Plan)
-		}
-		var ok bool
-		plan, ok = b.plans[n]
-		if !ok {
-			plan = fft.NewPlan(n)
-			b.plans[n] = plan
-		}
-		b.mu.Unlock()
-	} else {
-		// Bluestein plans own scratch buffers: per-call instances.
-		plan = fft.NewPlan(n)
-	}
+	plan := fft.PlanFor(n)
 	fs := ctx.Band.SampleRate
 	f0 := ctx.Band.Center - fs/2
 	fres := fs / float64(n)
 	r := ctx.Rand
-	spec := make([]complex128, n)
+	spec := bufpool.Complex(n)
 	for k := range spec {
 		f := f0 + float64(k)*fres
 		// Bin variance n·N0(f)·fs gives time-domain density N0 after the
@@ -204,6 +205,7 @@ func (b *Background) Render(dst []complex128, ctx *Context) {
 	for i := range dst {
 		dst[i] += spec[i]
 	}
+	bufpool.PutComplex(spec)
 }
 
 // StandardEnvironment builds the RF environment of the paper's

@@ -12,12 +12,38 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"fase/internal/activity"
 	"fase/internal/dsp/filter"
 	"fase/internal/emsim"
 	"fase/internal/sig"
 )
+
+// combScratch holds the per-render working set of a harmonic-comb
+// synthesis (harmonic numbers, phasors, step factors). A scene renders
+// dozens of comb emitters per capture, so this state is pooled to keep
+// steady-state rendering allocation-free.
+type combScratch struct {
+	ns                        []int
+	z, stepStatic, wpow, dpow []complex128
+}
+
+var combPool = sync.Pool{New: func() any { return new(combScratch) }}
+
+// grow sizes the phasor slices to k harmonics, reusing capacity.
+func (cs *combScratch) grow(k int) {
+	if cap(cs.z) < k {
+		cs.z = make([]complex128, k)
+		cs.stepStatic = make([]complex128, k)
+		cs.wpow = make([]complex128, k)
+		cs.dpow = make([]complex128, k)
+	}
+	cs.z = cs.z[:k]
+	cs.stepStatic = cs.stepStatic[:k]
+	cs.wpow = cs.wpow[:k]
+	cs.dpow = cs.dpow[:k]
+}
 
 // nearGain converts the context's near-field probe setting into a linear
 // amplitude factor for system emitters.
@@ -105,12 +131,15 @@ func (g *SwitchingRegulator) Render(dst []complex128, ctx *emsim.Context) {
 		panic(fmt.Sprintf("machine: regulator %q misconfigured", g.Label))
 	}
 	// Collect in-band harmonics.
-	var ns []int
+	cs := combPool.Get().(*combScratch)
+	defer combPool.Put(cs)
+	ns := cs.ns[:0]
 	for n := 1; n <= g.MaxHarmonics; n++ {
 		if ctx.Band.Contains(float64(n) * g.FSw) {
 			ns = append(ns, n)
 		}
 	}
+	cs.ns = ns
 	if len(ns) == 0 {
 		return
 	}
@@ -132,12 +161,25 @@ func (g *SwitchingRegulator) Render(dst []complex128, ctx *emsim.Context) {
 	loop := filter.NewOnePole(bw, fs)
 	cur := ctx.Loads()
 
-	// Per-harmonic baseband phase accumulators with random common start.
+	// Phasor-rotation synthesis: each harmonic carries a unit phasor
+	// z[k] = e^{i·phase_k}, advanced per sample by a precomputed static
+	// step (the nominal comb-line offset from the band center) times the
+	// shared wander rotation raised to the n-th power. Two trig calls per
+	// sample — the wander rotation and the duty phasor e^{-iπd} — replace
+	// a Sincos plus a Sin per harmonic per sample; the duty phasor's
+	// powers also provide sin(πnd) for the d·sinc(n·d) line magnitudes.
 	base := 2 * math.Pi * r.Float64()
-	phases := make([]float64, len(ns))
-	for i, n := range ns {
-		phases[i] = wrapPhase(float64(n) * base)
+	cs.grow(len(ns))
+	z, stepStatic, wpow, dpow := cs.z, cs.stepStatic, cs.wpow, cs.dpow
+	for k, n := range ns {
+		fn := float64(n)
+		s, c := math.Sincos(wrapPhase(fn * base))
+		z[k] = complex(c, s)
+		s, c = math.Sincos(2 * math.Pi * (fn*g.FSw - ctx.Band.Center) * dt)
+		stepStatic[k] = complex(c, s)
+		wpow[k] = 1
 	}
+	renorm := 0
 	for i := range dst {
 		t := ctx.Start + float64(i)*dt
 		load := g.Dom.Of(cur.At(t))
@@ -145,19 +187,32 @@ func (g *SwitchingRegulator) Render(dst []complex128, ctx *emsim.Context) {
 		d := g.BaseDuty + g.DutySwing*smoothedLoad
 		ampl := 1 + g.AmpSwing*smoothedLoad
 		df := wander.Step(dt, r)
+		if df != 0 {
+			ws, wc := math.Sincos(2 * math.Pi * df * dt)
+			sig.PowChain(wpow, ns, complex(wc, ws))
+		}
+		ds, dc := math.Sincos(-math.Pi * d)
+		sig.PowChain(dpow, ns, complex(dc, ds))
 		for k, n := range ns {
 			fn := float64(n)
-			// Fourier magnitude of harmonic n at duty d: d·sinc(n·d).
+			// Fourier magnitude of harmonic n at duty d: d·sinc(n·d),
+			// with sin(πnd) = −imag(e^{-iπnd}) read off the duty phasor.
 			x := fn * d
 			mag := d
 			if x != 0 {
-				mag = d * math.Sin(math.Pi*x) / (math.Pi * x)
+				mag = d * -imag(dpow[k]) / (math.Pi * x)
 			}
-			// Pulse-train harmonic phase is -π·n·d (pulse centering).
-			s, c := math.Sincos(phases[k] - math.Pi*x)
 			a := a0 * mag * ampl
-			dst[i] += complex(a*c, a*s)
-			phases[k] = wrapPhase(phases[k] + 2*math.Pi*(fn*(g.FSw+df)-ctx.Band.Center)*dt)
+			// Pulse-train harmonic phase is -π·n·d (pulse centering).
+			v := z[k] * dpow[k]
+			dst[i] += complex(a*real(v), a*imag(v))
+			z[k] *= stepStatic[k] * wpow[k]
+		}
+		if renorm++; renorm >= sig.RotatorRenorm {
+			renorm = 0
+			for k := range z {
+				z[k] = sig.Renormalize(z[k])
+			}
 		}
 	}
 }
@@ -228,8 +283,8 @@ func (g *ConstantOnTimeRegulator) Render(dst []complex128, ctx *emsim.Context) {
 		if pos >= 0 {
 			// Complex area includes the baseband downconversion phase.
 			ph := -2 * math.Pi * ctx.Band.Center * t
-			area := complex(q, 0) * cmplx.Exp(complex(0, ph))
-			kernel.Add(dst, pos, area, fs)
+			s, c := math.Sincos(ph)
+			kernel.Add(dst, pos, complex(q*c, q*s), fs)
 		}
 	}
 }
@@ -341,8 +396,9 @@ func (g *RefreshEmitter) Render(dst []complex128, ctx *emsim.Context) {
 				continue
 			}
 			ph := -2 * math.Pi * ctx.Band.Center * tk
-			area := complex(q*weights[rank], 0) * cmplx.Exp(complex(0, ph))
-			kernel.Add(dst, pos, area, fs)
+			s, c := math.Sincos(ph)
+			qw := q * weights[rank]
+			kernel.Add(dst, pos, complex(qw*c, qw*s), fs)
 		}
 	}
 }
@@ -407,7 +463,9 @@ func (g *SSCClock) Carriers(f1, f2 float64) []float64 {
 // Render implements emsim.Component.
 func (g *SSCClock) Render(dst []complex128, ctx *emsim.Context) {
 	// Collect odd harmonics whose swept range intersects the band.
-	var ns []int
+	cs := combPool.Get().(*combScratch)
+	defer combPool.Put(cs)
+	ns := cs.ns[:0]
 	for n := 1; n <= g.MaxHarmonics; n += 2 {
 		fn := float64(n)
 		lo, hi := fn*(g.F0-g.SpreadHz), fn*g.F0
@@ -416,6 +474,7 @@ func (g *SSCClock) Render(dst []complex128, ctx *emsim.Context) {
 			ns = append(ns, n)
 		}
 	}
+	cs.ns = ns
 	if len(ns) == 0 {
 		return
 	}
@@ -425,26 +484,45 @@ func (g *SSCClock) Render(dst []complex128, ctx *emsim.Context) {
 	ssc := sig.SSC{F0: g.F0, SpreadHz: g.SpreadHz, RateHz: g.RateHz, Profile: g.Profile}
 	ssc.Start(r)
 	cur := ctx.Loads()
-	phases := make([]float64, len(ns))
-	for i, n := range ns {
-		phases[i] = wrapPhase(float64(n) * ssc.Phase())
+	// Phasor rotation: each harmonic advances by a static step (nominal
+	// comb line at n·F0 offset from the band center) times the n-th power
+	// of the shared sweep rotation e^{i2π(f−F0)dt} — one trig call per
+	// sample instead of one per harmonic per sample.
+	cs.grow(len(ns))
+	z, stepStatic, fpow := cs.z, cs.stepStatic, cs.wpow
+	for k, n := range ns {
+		fn := float64(n)
+		s, c := math.Sincos(wrapPhase(fn * ssc.Phase()))
+		z[k] = complex(c, s)
+		s, c = math.Sincos(2 * math.Pi * (fn*g.F0 - ctx.Band.Center) * dt)
+		stepStatic[k] = complex(c, s)
+		fpow[k] = 1
 	}
+	spread := g.SpreadHz != 0
+	renorm := 0
 	for i := range dst {
 		t := ctx.Start + float64(i)*dt
 		load := g.Dom.Of(cur.At(t))
 		env := g.IdleFrac + (1-g.IdleFrac)*load
-		f := ssc.Freq()
-		for k, n := range ns {
-			fn := float64(n)
-			a := a0 * env / fn // square-wave harmonic rolloff
-			s, c := math.Sincos(phases[k])
-			dst[i] += complex(a*c, a*s)
-			phases[k] = wrapPhase(phases[k] + 2*math.Pi*(fn*f-ctx.Band.Center)*dt)
+		if spread {
+			fs2, fc2 := math.Sincos(2 * math.Pi * (ssc.Freq() - g.F0) * dt)
+			sig.PowChain(fpow, ns, complex(fc2, fs2))
 		}
-		// ssc's own phase accumulator is unused — the per-harmonic
-		// accumulators above integrate n·Freq() directly — but Step also
-		// advances the sweep position, which Freq() reads.
+		for k, n := range ns {
+			a := a0 * env / float64(n) // square-wave harmonic rolloff
+			dst[i] += complex(a*real(z[k]), a*imag(z[k]))
+			z[k] *= stepStatic[k] * fpow[k]
+		}
+		// ssc's own phase accumulator is unused — the per-harmonic phasors
+		// above integrate n·Freq() directly — but Step also advances the
+		// sweep position, which Freq() reads.
 		ssc.Step(dt, 0)
+		if renorm++; renorm >= sig.RotatorRenorm {
+			renorm = 0
+			for k := range z {
+				z[k] = sig.Renormalize(z[k])
+			}
+		}
 	}
 }
 
@@ -486,12 +564,15 @@ func (g *UnmodulatedClock) Carriers(f1, f2 float64) []float64 {
 
 // Render implements emsim.Component.
 func (g *UnmodulatedClock) Render(dst []complex128, ctx *emsim.Context) {
-	var ns []int
+	cs := combPool.Get().(*combScratch)
+	defer combPool.Put(cs)
+	ns := cs.ns[:0]
 	for n := 1; n <= g.MaxHarmonics; n += 2 {
 		if ctx.Band.Contains(float64(n) * g.F0) {
 			ns = append(ns, n)
 		}
 	}
+	cs.ns = ns
 	if len(ns) == 0 {
 		return
 	}
@@ -500,19 +581,37 @@ func (g *UnmodulatedClock) Render(dst []complex128, ctx *emsim.Context) {
 	a0 := math.Sqrt(math.Pow(10, g.FundamentalDBm/10))
 	wander := sig.OU{Sigma: g.WanderSigma, Tau: g.WanderTau}
 	wander.Init(r)
+	// Phasor rotation: static per-harmonic step plus the n-th power of the
+	// shared wander rotation (skipped entirely for crystal clocks with
+	// zero wander — then the loop is trig-free).
 	base := 2 * math.Pi * r.Float64()
-	phases := make([]float64, len(ns))
-	for i, n := range ns {
-		phases[i] = wrapPhase(float64(n) * base)
+	cs.grow(len(ns))
+	z, stepStatic, wpow := cs.z, cs.stepStatic, cs.wpow
+	for k, n := range ns {
+		fn := float64(n)
+		s, c := math.Sincos(wrapPhase(fn * base))
+		z[k] = complex(c, s)
+		s, c = math.Sincos(2 * math.Pi * (fn*g.F0 - ctx.Band.Center) * dt)
+		stepStatic[k] = complex(c, s)
+		wpow[k] = 1
 	}
+	renorm := 0
 	for i := range dst {
 		df := wander.Step(dt, r)
+		if df != 0 {
+			ws, wc := math.Sincos(2 * math.Pi * df * dt)
+			sig.PowChain(wpow, ns, complex(wc, ws))
+		}
 		for k, n := range ns {
-			fn := float64(n)
-			a := a0 / fn
-			s, c := math.Sincos(phases[k])
-			dst[i] += complex(a*c, a*s)
-			phases[k] = wrapPhase(phases[k] + 2*math.Pi*(fn*(g.F0+df)-ctx.Band.Center)*dt)
+			a := a0 / float64(n)
+			dst[i] += complex(a*real(z[k]), a*imag(z[k]))
+			z[k] *= stepStatic[k] * wpow[k]
+		}
+		if renorm++; renorm >= sig.RotatorRenorm {
+			renorm = 0
+			for k := range z {
+				z[k] = sig.Renormalize(z[k])
+			}
 		}
 	}
 }

@@ -76,6 +76,85 @@ func (o *Oscillator) Step(dt, fref float64, r *rand.Rand) {
 // Phase returns the current offset phase in radians.
 func (o *Oscillator) Phase() float64 { return o.phase }
 
+// RotatorRenorm is the renormalization period of phasor-rotation
+// oscillators: after this many one-multiply steps the phasor magnitude is
+// reset to 1. Each complex multiply perturbs the magnitude by O(ε) so the
+// drift between renormalizations is bounded by ~RotatorRenorm·ε ≈ 6e-14,
+// far below simulation noise floors.
+const RotatorRenorm = 256
+
+// Rotator synthesizes the complex exponential e^{i(φ0 + k·Δ)} sample by
+// sample using the rotation recurrence z ← z·e^{iΔ}: one complex multiply
+// per sample instead of a Sincos call, with periodic renormalization to
+// bound magnitude drift. It is the workhorse for fixed-frequency carrier
+// and audio-tone synthesis in the renderers.
+type Rotator struct {
+	z, step complex128
+	k       int
+}
+
+// NewRotator creates a rotator starting at phase phase0 (radians) that
+// advances by delta radians per step.
+func NewRotator(phase0, delta float64) Rotator {
+	s0, c0 := math.Sincos(phase0)
+	s1, c1 := math.Sincos(delta)
+	return Rotator{z: complex(c0, s0), step: complex(c1, s1)}
+}
+
+// Next returns the current phasor and advances one step.
+func (r *Rotator) Next() complex128 {
+	v := r.z
+	r.z *= r.step
+	if r.k++; r.k >= RotatorRenorm {
+		r.k = 0
+		r.z = Renormalize(r.z)
+	}
+	return v
+}
+
+// Renormalize rescales a unit phasor back to magnitude 1, undoing the
+// rounding drift accumulated by repeated rotation multiplies.
+func Renormalize(z complex128) complex128 {
+	m := math.Sqrt(real(z)*real(z) + imag(z)*imag(z))
+	return complex(real(z)/m, imag(z)/m)
+}
+
+// PowChain fills dst[j] = w^ns[j] for an ascending list of positive
+// harmonic numbers ns. Consecutive harmonics cost one multiply per unit of
+// spacing; large gaps (sparse high harmonics) fall back to binary
+// exponentiation. Comb renderers call this once per sample with the shared
+// per-sample rotation (frequency wander or sweep offset) to advance every
+// harmonic's phasor without per-harmonic trig.
+func PowChain(dst []complex128, ns []int, w complex128) {
+	cur := complex(1, 0)
+	m := 0
+	for j, n := range ns {
+		d := n - m
+		if d < 8 {
+			for ; d > 0; d-- {
+				cur *= w
+			}
+		} else {
+			cur *= ipow(w, d)
+		}
+		m = n
+		dst[j] = cur
+	}
+}
+
+// ipow computes w^e by binary exponentiation.
+func ipow(w complex128, e int) complex128 {
+	r := complex(1, 0)
+	for e > 0 {
+		if e&1 == 1 {
+			r *= w
+		}
+		w *= w
+		e >>= 1
+	}
+	return r
+}
+
 // PulseHarmonic returns the complex Fourier-series coefficient c_n of a
 // unit-amplitude rectangular pulse train with the given duty cycle
 // (0 < duty < 1), with the pulse starting at t=0:
@@ -202,6 +281,8 @@ func (s *SSC) Phase() float64 { return s.phase }
 // narrower than a sample period) into a sampled baseband stream.
 type ImpulseKernel struct {
 	halfTaps int
+	dTheta   float64 // window phase step π/(halfTaps+1) between taps
+	twoCosD  float64 // 2·cos(dTheta), the Chebyshev recurrence coefficient
 }
 
 // NewImpulseKernel creates a kernel with the given half-width in samples
@@ -210,23 +291,44 @@ func NewImpulseKernel(halfTaps int) *ImpulseKernel {
 	if halfTaps < 1 {
 		panic(fmt.Sprintf("sig: impulse kernel half-width must be >= 1, got %d", halfTaps))
 	}
-	return &ImpulseKernel{halfTaps: halfTaps}
+	dTheta := math.Pi / float64(halfTaps+1)
+	return &ImpulseKernel{halfTaps: halfTaps, dTheta: dTheta, twoCosD: 2 * math.Cos(dTheta)}
 }
 
 // Add deposits an impulse of the given complex area (in units of
 // value·seconds) at continuous sample position pos into dst, where dst is
 // sampled at rate fs. Positions outside dst are clipped sample-by-sample.
+//
+// The tap values sinc(x)·(0.54 + 0.46·cos(πx/(h+1))) are generated by
+// recurrence rather than per-tap trig: sin(π(x+1)) = −sin(πx) makes the
+// sinc numerator alternate sign, and the window cosine follows the
+// Chebyshev recurrence cos(θ+Δ) = 2cosΔ·cosθ − cos(θ−Δ). Three trig calls
+// per impulse replace two per tap.
 func (k *ImpulseKernel) Add(dst []complex128, pos float64, area complex128, fs float64) {
 	center := int(math.Round(pos))
 	// The impulse in sample units has height area·fs distributed over the
 	// windowed sinc.
 	amp := area * complex(fs, 0)
-	for i := center - k.halfTaps; i <= center+k.halfTaps; i++ {
-		if i < 0 || i >= len(dst) {
-			continue
+	h := k.halfTaps
+	lo := center - h
+	u0 := float64(lo) - pos // distance of the first tap from the impulse
+	s := math.Sin(math.Pi * u0)
+	theta0 := u0 * k.dTheta
+	c := math.Cos(theta0)
+	cPrev := math.Cos(theta0 - k.dTheta)
+	for i := lo; i <= center+h; i++ {
+		if i >= 0 && i < len(dst) {
+			u := float64(i) - pos
+			var snc float64
+			if u == 0 {
+				snc = 1
+			} else {
+				snc = s / (math.Pi * u)
+			}
+			w := 0.54 + 0.46*c
+			dst[i] += amp * complex(snc*w, 0)
 		}
-		x := float64(i) - pos // distance from the impulse in samples
-		w := 0.54 + 0.46*math.Cos(math.Pi*x/float64(k.halfTaps+1))
-		dst[i] += amp * complex(sinc(x)*w, 0)
+		s = -s
+		c, cPrev = k.twoCosD*c-cPrev, c
 	}
 }

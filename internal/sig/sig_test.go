@@ -253,3 +253,70 @@ func mustPanic(t *testing.T, f func()) {
 	}()
 	f()
 }
+
+// TestRotatorAccuracy compares the rotation-recurrence oscillator against
+// the direct Sincos form over a long capture: the renormalized recurrence
+// must track the closed form to well below simulation noise floors.
+func TestRotatorAccuracy(t *testing.T) {
+	const n = 1 << 17
+	phase0 := 0.7371
+	delta := 2 * math.Pi * 0.0137 // an irrational-ish fraction of a cycle
+	r := NewRotator(phase0, delta)
+	var maxErr float64
+	for i := 0; i < n; i++ {
+		got := r.Next()
+		s, c := math.Sincos(phase0 + float64(i)*delta)
+		if e := cmplx.Abs(got - complex(c, s)); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-9 {
+		t.Fatalf("rotator drifted %g from the direct form over %d samples", maxErr, n)
+	}
+	// Magnitude must stay pinned to 1 by the periodic renormalization.
+	if m := cmplx.Abs(r.Next()); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("rotator magnitude drifted to %g", m)
+	}
+}
+
+// TestPowChain checks w^n generation for consecutive, sparse, and large
+// harmonic numbers against direct exponentiation.
+func TestPowChain(t *testing.T) {
+	w := cmplx.Exp(complex(0, 0.0313))
+	ns := []int{1, 3, 5, 7, 37, 61, 200}
+	dst := make([]complex128, len(ns))
+	PowChain(dst, ns, w)
+	for j, n := range ns {
+		want := cmplx.Pow(w, complex(float64(n), 0))
+		if e := cmplx.Abs(dst[j] - want); e > 1e-12 {
+			t.Errorf("PowChain w^%d off by %g", n, e)
+		}
+	}
+}
+
+// TestImpulseKernelMatchesDirectForm verifies the trig-recurrence tap
+// generation against the direct per-tap evaluation it replaced.
+func TestImpulseKernelMatchesDirectForm(t *testing.T) {
+	k := NewImpulseKernel(8)
+	fs := 1e6
+	for _, pos := range []float64{40.0, 41.37, 39.5001, 3.2, 60.9} {
+		got := make([]complex128, 64)
+		k.Add(got, pos, complex(2.5e-9, -1e-9), fs)
+		want := make([]complex128, 64)
+		amp := complex(2.5e-9, -1e-9) * complex(fs, 0)
+		center := int(math.Round(pos))
+		for i := center - 8; i <= center+8; i++ {
+			if i < 0 || i >= len(want) {
+				continue
+			}
+			x := float64(i) - pos
+			w := 0.54 + 0.46*math.Cos(math.Pi*x/9)
+			want[i] += amp * complex(sinc(x)*w, 0)
+		}
+		for i := range got {
+			if e := cmplx.Abs(got[i] - want[i]); e > 1e-12*cmplx.Abs(amp) {
+				t.Fatalf("pos %g tap %d: got %v want %v", pos, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -11,8 +11,11 @@ package specan
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"fase/internal/activity"
+	"fase/internal/dsp/bufpool"
 	"fase/internal/dsp/fft"
 	"fase/internal/dsp/spectral"
 	"fase/internal/dsp/window"
@@ -36,6 +39,13 @@ type Config struct {
 	// UsableFrac is the fraction of each segment's bandwidth kept after
 	// discarding band edges. Zero means 0.75.
 	UsableFrac float64
+	// Parallelism bounds how many captures the analyzer renders and
+	// transforms concurrently, across all Sweep calls sharing this
+	// analyzer. Zero (or negative) means runtime.GOMAXPROCS(0). The
+	// result is bit-identical for every setting: captures are seeded by
+	// their sweep position and reduced in a fixed order, so parallelism
+	// changes only wall-clock time, never output.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -51,20 +61,30 @@ func (c Config) withDefaults() Config {
 	if c.UsableFrac == 0 {
 		c.UsableFrac = 0.75
 	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	if c.Fres <= 0 {
 		panic(fmt.Sprintf("specan: resolution bandwidth must be positive, got %g", c.Fres))
 	}
 	return c
 }
 
-// Analyzer performs swept spectrum measurements of a scene.
+// Analyzer performs swept spectrum measurements of a scene. One analyzer
+// may serve concurrent Sweep calls; its Parallelism budget is shared
+// between them, so e.g. the five f_alt sweeps of a FASE measurement never
+// oversubscribe the machine.
 type Analyzer struct {
 	cfg Config
+	// sem is the capture-level concurrency budget shared by all sweeps on
+	// this analyzer.
+	sem chan struct{}
 }
 
 // New creates an analyzer. See Config for defaults.
 func New(cfg Config) *Analyzer {
-	return &Analyzer{cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	return &Analyzer{cfg: cfg, sem: make(chan struct{}, cfg.Parallelism)}
 }
 
 // Fres returns the configured resolution bandwidth.
@@ -127,37 +147,84 @@ type Request struct {
 	NearFieldGainDB float64
 }
 
+// segGeom returns the bin range and center frequency of segment s.
+func (a *Analyzer) segGeom(p plan, f1 float64, s int) (fStart, center float64, bins int) {
+	binStart := s * p.perSeg
+	bins = p.perSeg
+	if binStart+bins > p.needBins {
+		bins = p.needBins - binStart
+	}
+	fStart = f1 + float64(binStart)*a.cfg.Fres
+	center = fStart + float64(bins)/2*a.cfg.Fres
+	return fStart, center, bins
+}
+
+// renderCapture renders capture capIdx of the sweep and writes its
+// periodogram into out (whose PmW the caller supplies). All scratch comes
+// from pools, so steady state allocates nothing.
+func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.Spectrum) {
+	_, center, _ := a.segGeom(p, req.F1, capIdx/a.cfg.Averages)
+	buf := bufpool.Complex(p.nfft)
+	req.Scene.RenderInto(buf, emsim.Capture{
+		Band:            emsim.Band{Center: center, SampleRate: p.fs},
+		Start:           float64(capIdx) * a.CaptureDuration(),
+		N:               p.nfft,
+		Activity:        req.Activity,
+		Seed:            req.Seed + int64(capIdx)*7919,
+		NearField:       req.NearField,
+		NearFieldGainDB: req.NearFieldGainDB,
+	})
+	spectral.PeriodogramInPlace(out, buf, p.fs, center, a.cfg.Window)
+	bufpool.PutComplex(buf)
+}
+
 // Sweep measures the spectrum of the scene over [F1, F2].
+//
+// The segs × averages captures are independent — each is seeded by its
+// position in the sweep — so they render concurrently on up to
+// Config.Parallelism goroutines. The periodograms are then reduced into
+// per-segment trace averages in the same (segment, trace) order the serial
+// loop used, keeping the result bit-identical to Parallelism: 1.
 func (a *Analyzer) Sweep(req Request) *spectral.Spectrum {
 	if req.Scene == nil {
 		panic("specan: sweep without a scene")
 	}
 	p := a.planSweep(req.F1, req.F2)
-	dur := a.CaptureDuration()
-	parts := make([]*spectral.Spectrum, 0, p.segs)
-	capIdx := 0
-	for s := 0; s < p.segs; s++ {
-		binStart := s * p.perSeg
-		bins := p.perSeg
-		if binStart+bins > p.needBins {
-			bins = p.needBins - binStart
+	nCaps := p.segs * a.cfg.Averages
+	specs := make([]spectral.Spectrum, nCaps)
+	for i := range specs {
+		specs[i].PmW = bufpool.Float(p.nfft)
+	}
+	if a.cfg.Parallelism == 1 {
+		for i := 0; i < nCaps; i++ {
+			a.sem <- struct{}{}
+			a.renderCapture(req, p, i, &specs[i])
+			<-a.sem
 		}
-		fStart := req.F1 + float64(binStart)*a.cfg.Fres
-		center := fStart + float64(bins)/2*a.cfg.Fres
-		band := emsim.Band{Center: center, SampleRate: p.fs}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(nCaps)
+		for i := 0; i < nCaps; i++ {
+			go func(i int) {
+				defer wg.Done()
+				a.sem <- struct{}{}
+				defer func() { <-a.sem }()
+				a.renderCapture(req, p, i, &specs[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	// Deterministic reduction: segment by segment, traces in capture
+	// order, exactly as the serial sweep accumulated them.
+	parts := make([]*spectral.Spectrum, 0, p.segs)
+	for s := 0; s < p.segs; s++ {
+		fStart, _, bins := a.segGeom(p, req.F1, s)
 		var avg spectral.Averager
 		for t := 0; t < a.cfg.Averages; t++ {
-			samples := req.Scene.Render(emsim.Capture{
-				Band:            band,
-				Start:           float64(capIdx) * dur,
-				N:               p.nfft,
-				Activity:        req.Activity,
-				Seed:            req.Seed + int64(capIdx)*7919,
-				NearField:       req.NearField,
-				NearFieldGainDB: req.NearFieldGainDB,
-			})
-			avg.Add(spectral.Periodogram(samples, p.fs, center, a.cfg.Window))
-			capIdx++
+			sp := &specs[s*a.cfg.Averages+t]
+			avg.Add(sp)
+			bufpool.PutFloat(sp.PmW)
+			sp.PmW = nil
 		}
 		parts = append(parts, avg.Mean().Slice(fStart, fStart+float64(bins)*a.cfg.Fres))
 	}

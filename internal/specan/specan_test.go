@@ -3,6 +3,7 @@ package specan
 import (
 	"math"
 	"math/cmplx"
+	"sync"
 	"testing"
 
 	"fase/internal/dsp/spectral"
@@ -101,7 +102,8 @@ func TestNearFieldPassesThrough(t *testing.T) {
 	probe := &recorder{}
 	scene := &emsim.Scene{}
 	scene.Add(probe)
-	an := New(Config{Fres: 1000, MaxFFT: 1024})
+	// Parallelism 1: the probe component records unsynchronized.
+	an := New(Config{Fres: 1000, MaxFFT: 1024, Parallelism: 1})
 	an.Sweep(Request{Scene: scene, F1: 0, F2: 100e3, NearField: true, NearFieldGainDB: 25})
 	if !probe.sawNearField || probe.gain != 25 {
 		t.Errorf("near-field context not propagated: %+v", probe)
@@ -117,6 +119,67 @@ func (r *recorder) Name() string { return "recorder" }
 func (r *recorder) Render(dst []complex128, ctx *emsim.Context) {
 	r.sawNearField = ctx.NearField
 	r.gain = ctx.NearFieldGainDB
+}
+
+func TestSweepParallelBitIdentical(t *testing.T) {
+	// The worker pool must not change the output at all: a parallel sweep
+	// and a Parallelism-1 sweep of the same request are compared bit for
+	// bit. The scene includes noise so per-capture seeding is exercised.
+	scene := &emsim.Scene{}
+	scene.Add(&tone{freq: 0.7e6, dbm: -75})
+	scene.Add(&emsim.Background{FloorDBmPerHz: -172})
+	sweep := func(par int) *spectral.Spectrum {
+		an := New(Config{Fres: 200, MaxFFT: 4096, Parallelism: par})
+		return an.Sweep(Request{Scene: scene, F1: 0.1e6, F2: 2e6, Seed: 77})
+	}
+	seq := sweep(1)
+	for _, par := range []int{2, 4, 8} {
+		got := sweep(par)
+		if got.F0 != seq.F0 || got.Fres != seq.Fres || got.Bins() != seq.Bins() {
+			t.Fatalf("parallelism %d: geometry %g/%g/%d, want %g/%g/%d",
+				par, got.F0, got.Fres, got.Bins(), seq.F0, seq.Fres, seq.Bins())
+		}
+		for i := range got.PmW {
+			if math.Float64bits(got.PmW[i]) != math.Float64bits(seq.PmW[i]) {
+				t.Fatalf("parallelism %d: bin %d = %x, want %x",
+					par, i, math.Float64bits(got.PmW[i]), math.Float64bits(seq.PmW[i]))
+			}
+		}
+	}
+}
+
+func TestSweepConcurrentOnSharedAnalyzer(t *testing.T) {
+	// Several goroutines sweeping through ONE analyzer (the campaign
+	// runner's shape) must each get the same spectrum a lone sweep gets.
+	scene := &emsim.Scene{}
+	scene.Add(&tone{freq: 0.4e6, dbm: -70})
+	scene.Add(&emsim.Background{FloorDBmPerHz: -172})
+	req := func(seed int64) Request {
+		return Request{Scene: scene, F1: 0.2e6, F2: 0.8e6, Seed: seed}
+	}
+	ref := New(Config{Fres: 500, MaxFFT: 2048, Parallelism: 1})
+	want := make([]*spectral.Spectrum, 4)
+	for i := range want {
+		want[i] = ref.Sweep(req(int64(100 + i)))
+	}
+	an := New(Config{Fres: 500, MaxFFT: 2048, Parallelism: 3})
+	got := make([]*spectral.Spectrum, len(want))
+	var wg sync.WaitGroup
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = an.Sweep(req(int64(100 + i)))
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		for k := range got[i].PmW {
+			if math.Float64bits(got[i].PmW[k]) != math.Float64bits(want[i].PmW[k]) {
+				t.Fatalf("sweep %d bin %d differs from sequential reference", i, k)
+			}
+		}
+	}
 }
 
 func TestConfigValidation(t *testing.T) {
