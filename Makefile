@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench-smoke
+.PHONY: ci fmt-check vet build test race bench-smoke equivalence fuzz-smoke bench-regress
 
 # ci is the full gate: formatting, vet, build, tests (with the race
-# detector), and a short benchmark smoke run.
-ci: fmt-check vet build race bench-smoke
+# detector), the planner equivalence suite, a short fuzz of the band/extent
+# overlap logic, a benchmark smoke run, and the wide-sweep regression gate.
+ci: fmt-check vet build race equivalence fuzz-smoke bench-smoke bench-regress
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -24,8 +25,36 @@ test:
 race:
 	$(GO) test -race ./...
 
+# equivalence runs the planned-vs-unplanned bit-identity property tests
+# under the race detector (they exercise the parallel sweep path too).
+equivalence:
+	$(GO) test -run Equivalence -race ./...
+
+# fuzz-smoke briefly fuzzes the Band/extent overlap invariants the render
+# planner's culling correctness rests on.
+fuzz-smoke:
+	$(GO) test -run FuzzExtent -fuzz FuzzExtent -fuzztime 5s ./internal/emsim
+
 # bench-smoke runs the pipeline micro-benchmarks once each — enough to
 # catch a benchmark that no longer compiles or panics, without the cost of
 # a full timing run.
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkSceneRender|BenchmarkPeriodogram|BenchmarkSweep$$|BenchmarkCampaignNarrowband' -benchtime 1x .
+
+# bench-regress re-times the wide CLI scan and fails if it regressed more
+# than 20% against the committed BENCH_sweep.json baseline. The fresh run
+# is written to a temp file via FASE_BENCH_OUT so the baseline is only
+# updated deliberately (run the benchmark without FASE_BENCH_OUT and
+# commit the result).
+bench-regress:
+	@fresh=$$(mktemp); \
+	FASE_BENCH_OUT=$$fresh $(GO) test -run xxx -bench 'BenchmarkWideSweep$$' -benchtime 5x . >/dev/null || exit 1; \
+	base=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' BENCH_sweep.json); \
+	now=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' $$fresh); \
+	rm -f $$fresh; \
+	if [ -z "$$base" ] || [ -z "$$now" ]; then echo "bench-regress: missing ns_per_op"; exit 1; fi; \
+	limit=$$((base * 120 / 100)); \
+	echo "bench-regress: baseline $$base ns/op, fresh $$now ns/op, limit $$limit"; \
+	if [ "$$now" -gt "$$limit" ]; then \
+		echo "bench-regress: BenchmarkWideSweep regressed >20%"; exit 1; \
+	fi

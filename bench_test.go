@@ -11,7 +11,9 @@
 package fase_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -147,6 +149,48 @@ func BenchmarkSweep(b *testing.B) {
 		if sp.Bins() == 0 {
 			b.Fatal("empty sweep")
 		}
+	}
+}
+
+// BenchmarkWideSweep times the 0.1–4 MHz CLI scan (cmd/emspec defaults):
+// one analyzer sweep at 50 Hz resolution over the full first-campaign
+// band — the workload the render planner targets.
+func BenchmarkWideSweep(b *testing.B) {
+	scene := benchScene(b)
+	an := specan.New(specan.Config{Fres: 50})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := an.Sweep(specan.Request{Scene: scene, F1: 100e3, F2: 4e6, Seed: int64(i)})
+		if sp.Bins() == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+	b.StopTimer()
+	writeBenchJSON(b, "BenchmarkWideSweep", b.Elapsed().Nanoseconds()/int64(b.N))
+}
+
+// writeBenchJSON records the wide-sweep result for the Makefile's
+// bench-regress gate, which compares a fresh run against the committed
+// BENCH_sweep.json. FASE_BENCH_OUT redirects the output (the gate writes
+// its fresh run to a temporary path); unset, the committed baseline is
+// refreshed in place. Only reached under -bench, so plain `go test` never
+// writes.
+func writeBenchJSON(b *testing.B, name string, nsPerOp int64) {
+	path := os.Getenv("FASE_BENCH_OUT")
+	if path == "" {
+		path = "BENCH_sweep.json"
+	}
+	out, err := json.MarshalIndent(struct {
+		Benchmark  string `json:"benchmark"`
+		Iterations int    `json:"iterations"`
+		NsPerOp    int64  `json:"ns_per_op"`
+	}{name, b.N, nsPerOp}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"fase/internal/activity"
+	"fase/internal/dsp/bufpool"
 	"fase/internal/dsp/peaks"
 	"fase/internal/dsp/spectral"
 	"fase/internal/emsim"
@@ -57,6 +58,10 @@ type Campaign struct {
 	// Zero means runtime.GOMAXPROCS(0). Results are bit-identical for any
 	// setting — see specan.Config.Parallelism.
 	Parallelism int
+	// NoPlan disables per-segment render planning in the campaign's
+	// analyzer (see specan.Config.NoPlan). Planned and unplanned rendering
+	// are bit-identical; this is a debugging escape hatch.
+	NoPlan bool
 }
 
 func (c Campaign) withDefaults() Campaign {
@@ -191,7 +196,7 @@ func (r *Runner) Run(c Campaign) *Result {
 	if r.Scene == nil {
 		panic("core: Runner needs a Scene")
 	}
-	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism})
+	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism, NoPlan: c.NoPlan})
 	res := &Result{Campaign: c}
 	falts := c.FAlts()
 	// The per-f_alt measurements are independent (each has its own seeds
@@ -220,7 +225,10 @@ func (r *Runner) Run(c Campaign) *Result {
 	smoothed := make([]*spectral.Spectrum, len(res.Measurements))
 	for i, m := range res.Measurements {
 		spectra[i] = m.Spectrum
-		smoothed[i] = SmoothSpectrum(m.Spectrum, c.SmoothBins)
+		// Smoothed spectra are scoring scratch, released after detection;
+		// their bin buffers come from the shared pool.
+		smoothed[i] = &spectral.Spectrum{PmW: bufpool.Float(m.Spectrum.Bins())}
+		SmoothSpectrumInto(smoothed[i], m.Spectrum, c.SmoothBins)
 	}
 	res.Scores = make(map[int][]float64, len(c.Harmonics))
 	res.Elevated = make(map[int][]int, len(c.Harmonics))
@@ -228,6 +236,10 @@ func (r *Runner) Run(c Campaign) *Result {
 		res.Scores[h], res.Elevated[h] = ScoreDetail(smoothed, falts, h, 2)
 	}
 	res.Detections = detect(res, spectra, smoothed, falts)
+	for _, sp := range smoothed {
+		bufpool.PutFloat(sp.PmW)
+		sp.PmW = nil
+	}
 	return res
 }
 

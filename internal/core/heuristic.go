@@ -123,33 +123,48 @@ func ScoreDetail(spectra []*spectral.Spectrum, falts []float64, h int, minRatio 
 // preserving the ratio between a true side-band and the other
 // measurements' floor.
 func SmoothSpectrum(s *spectral.Spectrum, w int) *spectral.Spectrum {
+	out := s.Clone()
+	SmoothSpectrumInto(out, s, w)
+	return out
+}
+
+// SmoothSpectrumInto is the allocation-free form of SmoothSpectrum: it
+// writes the width-w moving average of src into dst, whose PmW must
+// already hold src.Bins() elements (e.g. from bufpool.Float — every
+// element is overwritten, so a dirty pooled buffer is fine). dst must not
+// alias src. Campaigns smooth one ~78k-bin spectrum per measurement, so
+// pooling these buffers keeps scoring allocation-free in steady state.
+func SmoothSpectrumInto(dst, src *spectral.Spectrum, w int) {
+	n := src.Bins()
+	if len(dst.PmW) != n {
+		panic(fmt.Sprintf("core: smoothing %d bins into a %d-bin destination", n, len(dst.PmW)))
+	}
+	dst.F0, dst.Fres = src.F0, src.Fres
 	if w <= 1 {
-		return s.Clone()
+		copy(dst.PmW, src.PmW)
+		return
 	}
 	if w%2 == 0 {
 		w++
 	}
 	half := w / 2
-	out := s.Clone()
-	n := s.Bins()
 	var acc float64
-	// Prefix-sum sliding window.
+	// Prefix-sum sliding window: O(n) for any width.
 	for i := 0; i < n && i <= half; i++ {
-		acc += s.PmW[i]
+		acc += src.PmW[i]
 	}
 	count := minInt(half+1, n)
 	for i := 0; i < n; i++ {
-		out.PmW[i] = acc / float64(count)
+		dst.PmW[i] = acc / float64(count)
 		if hi := i + half + 1; hi < n {
-			acc += s.PmW[hi]
+			acc += src.PmW[hi]
 			count++
 		}
 		if lo := i - half; lo >= 0 {
-			acc -= s.PmW[lo]
+			acc -= src.PmW[lo]
 			count--
 		}
 	}
-	return out
 }
 
 func minInt(a, b int) int {

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fase/internal/dsp/spectral"
+)
+
+// naiveSmooth is the O(n·w) reference the prefix-sum implementation must
+// match (within FP tolerance — the sliding accumulator sums in a
+// different order than a fresh per-window sum).
+func naiveSmooth(src []float64, w int) []float64 {
+	if w%2 == 0 {
+		w++
+	}
+	half := w / 2
+	out := make([]float64, len(src))
+	for i := range src {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(src)-1 {
+			hi = len(src) - 1
+		}
+		var sum float64
+		for k := lo; k <= hi; k++ {
+			sum += src[k]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+func TestSmoothSpectrumMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 7, 64, 501} {
+		for _, w := range []int{1, 2, 3, 5, 8, 25, 1201} {
+			s := spectral.New(100e3, 50, n)
+			for i := range s.PmW {
+				s.PmW[i] = r.Float64() * 1e-10
+			}
+			want := naiveSmooth(s.PmW, w)
+			got := SmoothSpectrum(s, w)
+			for i := range want {
+				if d := math.Abs(got.PmW[i] - want[i]); d > 1e-22 && d/want[i] > 1e-9 {
+					t.Fatalf("n=%d w=%d bin %d: %g, naive %g", n, w, i, got.PmW[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSmoothSpectrumInto(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	src := spectral.New(250e3, 100, 333)
+	for i := range src.PmW {
+		src.PmW[i] = r.Float64()
+	}
+	want := SmoothSpectrum(src, 9)
+	// A dirty destination (as handed out by a buffer pool) must give the
+	// same result bit for bit: every element is overwritten.
+	dst := spectral.New(0, 1, 333)
+	for i := range dst.PmW {
+		dst.PmW[i] = math.NaN()
+	}
+	SmoothSpectrumInto(dst, src, 9)
+	if dst.F0 != src.F0 || dst.Fres != src.Fres {
+		t.Errorf("geometry not propagated: F0=%g Fres=%g", dst.F0, dst.Fres)
+	}
+	for i := range want.PmW {
+		if math.Float64bits(dst.PmW[i]) != math.Float64bits(want.PmW[i]) {
+			t.Fatalf("bin %d: dirty-buffer result %g != %g", i, dst.PmW[i], want.PmW[i])
+		}
+	}
+	// Size mismatch is a programming error and must panic.
+	mustPanic(t, func() { SmoothSpectrumInto(spectral.New(0, 1, 332), src, 9) })
+}

@@ -18,9 +18,15 @@ import (
 type Type int
 
 const (
+	// Default is the zero value and stands for "let the consumer choose":
+	// code taking a window.Type treats Default as its documented default
+	// (the spectrum analyzer resolves it to BlackmanHarris; New resolves
+	// it the same way). Having an explicit sentinel keeps every concrete
+	// window — including Rectangular — selectable.
+	Default Type = iota
 	// Rectangular is the implicit "no window": best noise bandwidth
 	// (NENBW = 1 bin), worst side lobes (-13 dB).
-	Rectangular Type = iota
+	Rectangular
 	// Hann is the general-purpose cosine window (-31.5 dB side lobes).
 	Hann
 	// Hamming minimizes the nearest side lobe (-43 dB).
@@ -37,6 +43,8 @@ const (
 // String returns the conventional name of the window.
 func (t Type) String() string {
 	switch t {
+	case Default:
+		return "default"
 	case Rectangular:
 		return "rectangular"
 	case Hann:
@@ -58,6 +66,9 @@ func (t Type) String() string {
 // w[n] = sum_k (-1)^k a_k cos(2πkn/(N-1)).
 func (t Type) cosineCoeffs() []float64 {
 	switch t {
+	case Default:
+		// Default resolves to the library-wide default window.
+		return BlackmanHarris.cosineCoeffs()
 	case Rectangular:
 		return []float64{1}
 	case Hann:

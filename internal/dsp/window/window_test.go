@@ -142,3 +142,32 @@ func mustPanic(t *testing.T, f func()) {
 	}()
 	f()
 }
+
+func TestDefaultSentinel(t *testing.T) {
+	// The zero value is "analyzer default", not rectangular — keeping a
+	// zero-valued Config field from silently selecting a rectangular
+	// window while still allowing Rectangular to be chosen explicitly.
+	var zero Type
+	if zero != Default {
+		t.Fatal("zero value of Type must be Default")
+	}
+	if Default == Rectangular {
+		t.Fatal("Default must be distinct from Rectangular")
+	}
+	if got := Default.String(); got != "default" {
+		t.Errorf("Default.String() = %q", got)
+	}
+	// Default resolves to the Blackman-Harris taper.
+	dw, bh := New(Default, 1024), New(BlackmanHarris, 1024)
+	for i := range dw {
+		if dw[i] != bh[i] {
+			t.Fatal("Default window does not match BlackmanHarris")
+		}
+	}
+	rect := New(Rectangular, 1024)
+	for i := range rect {
+		if rect[i] != 1 {
+			t.Fatal("Rectangular window must be all ones")
+		}
+	}
+}

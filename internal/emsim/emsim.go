@@ -33,6 +33,16 @@ func (b Band) Contains(f float64) bool {
 	return f > b.Center-half && f < b.Center+half
 }
 
+// Overlaps reports whether the closed interval [lo, hi] intersects the
+// band, with the same guard margin (and the same strict comparisons) as
+// Contains: Overlaps(f, f) == Contains(f) for every f, so extent-based
+// culling agrees exactly with the per-line tests renderers apply.
+func (b Band) Overlaps(lo, hi float64) bool {
+	const guard = 0.98
+	half := b.SampleRate / 2 * guard
+	return lo < b.Center+half && hi > b.Center-half
+}
+
 // Context carries everything a component needs to render one capture.
 type Context struct {
 	Band  Band
@@ -51,6 +61,10 @@ type Context struct {
 	// NearFieldGainDB is the probe gain applied to system emitters when
 	// NearField is set.
 	NearFieldGainDB float64
+	// Prep is the component's prepared per-segment state when the capture
+	// was rendered under a RenderPlan (see Prepper), nil otherwise.
+	// Renderers must produce bit-identical output with or without it.
+	Prep any
 }
 
 // Dt returns the sample period.
@@ -125,6 +139,11 @@ type Capture struct {
 	Seed            int64
 	NearField       bool
 	NearFieldGainDB float64
+	// Plan, when non-nil, is a render plan computed by Scene.Plan for this
+	// capture's Band and N: components the plan marks inactive are skipped
+	// (their child-seed draw is still consumed, so output is bit-identical)
+	// and active components receive their prepared state via Context.Prep.
+	Plan *RenderPlan
 }
 
 // renderScratch holds the per-capture PRNG and context state RenderInto
@@ -179,12 +198,25 @@ func (s *Scene) RenderInto(dst []complex128, cap Capture) {
 		NearField:       cap.NearField,
 		NearFieldGainDB: cap.NearFieldGainDB,
 	}
-	for _, c := range s.Components {
+	plan := cap.Plan
+	if plan != nil {
+		plan.check(cap, len(s.Components))
+	}
+	for i, c := range s.Components {
 		// Each component draws from its own child stream (same derivation
-		// as seeding a fresh generator with root.Int63()).
+		// as seeding a fresh generator with root.Int63()). The draw happens
+		// even for components the plan skips, so every component's stream —
+		// and therefore the rendered output — is independent of the plan.
 		sc.child.Seed(sc.root.Int63())
+		if plan != nil {
+			if !plan.active[i] {
+				continue
+			}
+			sc.ctx.Prep = plan.prep[i]
+		}
 		sc.ctx.Rand = sc.child
 		c.Render(dst, &sc.ctx)
+		sc.ctx.Prep = nil
 	}
 	sc.ctx.Rand = nil
 	sc.ctx.Activity = nil

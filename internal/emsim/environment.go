@@ -39,6 +39,42 @@ type AMStation struct {
 // Name implements Component.
 func (a *AMStation) Name() string { return fmt.Sprintf("AM station %s @ %.0f kHz", a.Call, a.Freq/1e3) }
 
+// BandExtent implements Extenter: a single line at the carrier — the same
+// frequency Render gates on. (The audio side-bands sit within a few kHz of
+// the carrier, far inside the width of any capture band that contains it.)
+func (a *AMStation) BandExtent() Extent { return Lines(a.Freq) }
+
+// stationTones is a broadcast station's stationary program-audio spectrum:
+// tone frequencies and normalized relative amplitudes. Per-capture phases
+// are not part of it — they are drawn from the capture's random stream.
+type stationTones [3]struct{ f, amp float64 }
+
+// deriveTones computes the station audio table from its seed: three tones
+// with frequencies in [300, 300+span] Hz and normalized amplitudes.
+func deriveTones(seed int64, span float64) stationTones {
+	ar := audioRandPool.Get().(*rand.Rand)
+	ar.Seed(seed)
+	var tones stationTones
+	var ampSum float64
+	for i := range tones {
+		tones[i].f = 300 + span*ar.Float64()
+		tones[i].amp = 0.3 + 0.7*ar.Float64()
+		ampSum += tones[i].amp
+	}
+	audioRandPool.Put(ar)
+	for i := range tones {
+		tones[i].amp /= ampSum
+	}
+	return tones
+}
+
+// Prepare implements Prepper: the program-audio tone table is fixed per
+// station, so one derivation serves every capture of a segment.
+func (a *AMStation) Prepare(Band, int) any {
+	t := deriveTones(a.AudioSeed^int64(a.Freq), 3700)
+	return &t
+}
+
 // Render implements Component: carrier × (1 + depth·audio(t)), where the
 // audio is a random mixture of low-frequency tones (program content).
 // The carrier offset and the audio tones all advance by a fixed phase per
@@ -55,34 +91,32 @@ func (a *AMStation) Render(dst []complex128, ctx *Context) {
 	// Program audio: three tones between 300 Hz and 4 kHz. Frequencies
 	// and relative amplitudes are fixed per station (stationary program
 	// spectrum); phases are drawn per capture.
-	ar := audioRandPool.Get().(*rand.Rand)
-	ar.Seed(a.AudioSeed ^ int64(a.Freq))
-	var tones [3]struct{ f, p, amp float64 }
-	var ampSum float64
-	for i := range tones {
-		tones[i].f = 300 + 3700*ar.Float64()
-		tones[i].amp = 0.3 + 0.7*ar.Float64()
-		ampSum += tones[i].amp
+	var tones stationTones
+	if pre, ok := ctx.Prep.(*stationTones); ok {
+		tones = *pre
+	} else {
+		tones = deriveTones(a.AudioSeed^int64(a.Freq), 3700)
 	}
-	audioRandPool.Put(ar)
-	for i := range tones {
-		tones[i].amp /= ampSum
-		tones[i].p = 2 * math.Pi * ctx.Rand.Float64()
+	var phases [3]float64
+	for i := range phases {
+		phases[i] = 2 * math.Pi * ctx.Rand.Float64()
 	}
 	amp := math.Sqrt(a.PowerMw)
 	phase0 := 2 * math.Pi * ctx.Rand.Float64()
 	dt := ctx.Dt()
 	off := 2 * math.Pi * (a.Freq - ctx.Band.Center)
 	car := sig.NewRotator(off*ctx.Start+phase0, off*dt)
-	var audioRot [3]sig.Rotator
-	for i, tn := range tones {
-		audioRot[i] = sig.NewRotator(2*math.Pi*tn.f*ctx.Start+tn.p, 2*math.Pi*tn.f*dt)
-	}
+	// The three audio rotators live in distinct locals rather than an
+	// array so their state stays in registers across the sample loop
+	// (array indexing forces a memory round trip per call).
+	r0 := sig.NewRotator(2*math.Pi*tones[0].f*ctx.Start+phases[0], 2*math.Pi*tones[0].f*dt)
+	r1 := sig.NewRotator(2*math.Pi*tones[1].f*ctx.Start+phases[1], 2*math.Pi*tones[1].f*dt)
+	r2 := sig.NewRotator(2*math.Pi*tones[2].f*ctx.Start+phases[2], 2*math.Pi*tones[2].f*dt)
+	a0, a1, a2 := tones[0].amp, tones[1].amp, tones[2].amp
 	for i := range dst {
-		var audio float64
-		for j := range audioRot {
-			audio += tones[j].amp * imag(audioRot[j].Next())
-		}
+		audio := a0 * imag(r0.Next())
+		audio += a1 * imag(r1.Next())
+		audio += a2 * imag(r2.Next())
 		env := amp * (1 + depth*audio)
 		c := car.Next()
 		dst[i] += complex(env*real(c), env*imag(c))
@@ -106,6 +140,18 @@ type FMStation struct {
 // Name implements Component.
 func (s *FMStation) Name() string { return fmt.Sprintf("FM station %s @ %.1f MHz", s.Call, s.Freq/1e6) }
 
+// BandExtent implements Extenter: a single line at the carrier, matching
+// Render's own gate. (Broadcast FM deviation is ±75 kHz, negligible next
+// to the multi-MHz capture bands of the campaign that reaches this band.)
+func (s *FMStation) BandExtent() Extent { return Lines(s.Freq) }
+
+// Prepare implements Prepper: the stationary tone table, shared by every
+// capture of a segment.
+func (s *FMStation) Prepare(Band, int) any {
+	t := deriveTones(s.AudioSeed^int64(s.Freq), 7000)
+	return &t
+}
+
 // Render implements Component. The audio tones are synthesized by phasor
 // rotation; the carrier keeps a per-sample Sincos because its phase
 // increment varies with the audio (frequency modulation).
@@ -117,19 +163,15 @@ func (s *FMStation) Render(dst []complex128, ctx *Context) {
 	if dev == 0 {
 		dev = 75e3
 	}
-	ar := audioRandPool.Get().(*rand.Rand)
-	ar.Seed(s.AudioSeed ^ int64(s.Freq))
-	var tones [3]struct{ f, p, amp float64 }
-	var ampSum float64
-	for i := range tones {
-		tones[i].f = 300 + 7000*ar.Float64()
-		tones[i].amp = 0.3 + 0.7*ar.Float64()
-		ampSum += tones[i].amp
+	var tones stationTones
+	if pre, ok := ctx.Prep.(*stationTones); ok {
+		tones = *pre
+	} else {
+		tones = deriveTones(s.AudioSeed^int64(s.Freq), 7000)
 	}
-	audioRandPool.Put(ar)
-	for i := range tones {
-		tones[i].amp /= ampSum
-		tones[i].p = 2 * math.Pi * ctx.Rand.Float64()
+	var phases [3]float64
+	for i := range phases {
+		phases[i] = 2 * math.Pi * ctx.Rand.Float64()
 	}
 	amp := math.Sqrt(s.PowerMw)
 	dt := ctx.Dt()
@@ -137,7 +179,7 @@ func (s *FMStation) Render(dst []complex128, ctx *Context) {
 	base := 2 * math.Pi * (s.Freq - ctx.Band.Center)
 	var audioRot [3]sig.Rotator
 	for i, tn := range tones {
-		audioRot[i] = sig.NewRotator(2*math.Pi*tn.f*ctx.Start+tn.p, 2*math.Pi*tn.f*dt)
+		audioRot[i] = sig.NewRotator(2*math.Pi*tn.f*ctx.Start+phases[i], 2*math.Pi*tn.f*dt)
 	}
 	for i := range dst {
 		var audio float64
@@ -174,6 +216,9 @@ type Background struct {
 // Name implements Component.
 func (b *Background) Name() string { return "background noise" }
 
+// BandExtent implements Extenter: broadband noise touches every band.
+func (b *Background) BandExtent() Extent { return Everywhere() }
+
 // densityMwPerHz evaluates the noise density at frequency f.
 func (b *Background) densityMwPerHz(f float64) float64 {
 	gain := 0.0
@@ -182,6 +227,36 @@ func (b *Background) densityMwPerHz(f float64) float64 {
 		gain += h.GainDB * math.Exp(-d*d/2)
 	}
 	return math.Pow(10, (b.FloorDBmPerHz+gain)/10)
+}
+
+// bgPrep is Background's per-segment state: the per-bin noise standard
+// deviation, which depends only on the capture geometry.
+type bgPrep struct {
+	sd []float64
+}
+
+// binSD computes the frequency-domain standard deviation of bin k for an
+// n-bin capture starting at f0 — the exact expression Render evaluates.
+func (b *Background) binSD(f0, fres, fs float64, n, k int) float64 {
+	f := f0 + float64(k)*fres
+	// Bin variance n·N0(f)·fs gives time-domain density N0 after the
+	// 1/n of the inverse transform.
+	return math.Sqrt(float64(n) * b.densityMwPerHz(f) * fs / 2)
+}
+
+// Prepare implements Prepper: the per-bin standard deviations — the
+// expensive part of the density shaping (a Gaussian per hill plus a
+// dB→mW conversion per bin) — are computed once per segment instead of
+// once per capture.
+func (b *Background) Prepare(band Band, n int) any {
+	fs := band.SampleRate
+	f0 := band.Center - fs/2
+	fres := fs / float64(n)
+	sd := make([]float64, n)
+	for k := range sd {
+		sd[k] = b.binSD(f0, fres, fs, n, k)
+	}
+	return &bgPrep{sd: sd}
 }
 
 // Render implements Component.
@@ -193,12 +268,16 @@ func (b *Background) Render(dst []complex128, ctx *Context) {
 	fres := fs / float64(n)
 	r := ctx.Rand
 	spec := bufpool.Complex(n)
-	for k := range spec {
-		f := f0 + float64(k)*fres
-		// Bin variance n·N0(f)·fs gives time-domain density N0 after the
-		// 1/n of the inverse transform.
-		sd := math.Sqrt(float64(n) * b.densityMwPerHz(f) * fs / 2)
-		spec[k] = complex(sd*r.NormFloat64(), sd*r.NormFloat64())
+	if pre, ok := ctx.Prep.(*bgPrep); ok && len(pre.sd) == n {
+		for k := range spec {
+			sd := pre.sd[k]
+			spec[k] = complex(sd*r.NormFloat64(), sd*r.NormFloat64())
+		}
+	} else {
+		for k := range spec {
+			sd := b.binSD(f0, fres, fs, n, k)
+			spec[k] = complex(sd*r.NormFloat64(), sd*r.NormFloat64())
+		}
 	}
 	fft.InverseShift(spec) // from ascending-frequency to FFT bin order
 	plan.Inverse(spec)

@@ -30,6 +30,11 @@ type amCarrier struct {
 
 func (c *amCarrier) Name() string { return "conceptual carrier" }
 
+// BandExtent implements emsim.Extenter: a line at the carrier, matching
+// Render's gate, so planned sweeps skip the component for bands that
+// cannot see it.
+func (c *amCarrier) BandExtent() emsim.Extent { return emsim.Lines(c.freq) }
+
 func (c *amCarrier) Render(dst []complex128, ctx *emsim.Context) {
 	if !ctx.Band.Contains(c.freq) {
 		return

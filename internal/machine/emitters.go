@@ -27,6 +27,7 @@ import (
 type combScratch struct {
 	ns                        []int
 	z, stepStatic, wpow, dpow []complex128
+	amp                       []float64
 }
 
 var combPool = sync.Pool{New: func() any { return new(combScratch) }}
@@ -38,11 +39,54 @@ func (cs *combScratch) grow(k int) {
 		cs.stepStatic = make([]complex128, k)
 		cs.wpow = make([]complex128, k)
 		cs.dpow = make([]complex128, k)
+		cs.amp = make([]float64, k)
 	}
 	cs.z = cs.z[:k]
 	cs.stepStatic = cs.stepStatic[:k]
 	cs.wpow = cs.wpow[:k]
 	cs.dpow = cs.dpow[:k]
+	cs.amp = cs.amp[:k]
+}
+
+// combPrep is the per-segment state of a harmonic-comb emitter under a
+// render plan: the in-band harmonic numbers and each harmonic's static
+// per-sample rotation (the nominal comb-line offset from the band center).
+// Both depend only on the capture geometry, and both are computed by the
+// exact expressions Render evaluates inline, so planned and unplanned
+// output agree bit for bit. Read-only once built — one prep serves
+// concurrent captures.
+type combPrep struct {
+	ns         []int
+	stepStatic []complex128
+}
+
+// prepComb builds the comb prep for harmonics n = first, first+stride, …
+// up to maxN of fundamental f0 that land in the band.
+func prepComb(band emsim.Band, f0 float64, maxN, first, stride int) *combPrep {
+	p := &combPrep{}
+	for n := first; n <= maxN; n += stride {
+		if band.Contains(float64(n) * f0) {
+			p.ns = append(p.ns, n)
+		}
+	}
+	dt := 1 / band.SampleRate
+	p.stepStatic = make([]complex128, len(p.ns))
+	for k, n := range p.ns {
+		s, c := math.Sincos(2 * math.Pi * (float64(n)*f0 - band.Center) * dt)
+		p.stepStatic[k] = complex(c, s)
+	}
+	return p
+}
+
+// lineExtent is the extent of a comb of lines at n·f0 for
+// n = first, first+stride, … maxN.
+func lineExtent(f0 float64, maxN, first, stride int) emsim.Extent {
+	var spans []emsim.Span
+	for n := first; n <= maxN; n += stride {
+		f := float64(n) * f0
+		spans = append(spans, emsim.Span{Lo: f, Hi: f})
+	}
+	return emsim.Extent{Spans: spans}
 }
 
 // nearGain converts the context's near-field probe setting into a linear
@@ -114,6 +158,19 @@ func (g *SwitchingRegulator) Carriers(f1, f2 float64) []float64 {
 	return harmonicsIn(g.FSw, g.MaxHarmonics, f1, f2)
 }
 
+// BandExtent implements emsim.Extenter: lines at every harmonic of FSw,
+// the same frequencies Render's in-band scan tests. (The OU wander spreads
+// each line by a few hundred Hz at most, far inside a capture band.)
+func (g *SwitchingRegulator) BandExtent() emsim.Extent {
+	return lineExtent(g.FSw, g.MaxHarmonics, 1, 1)
+}
+
+// Prepare implements emsim.Prepper: the in-band harmonic list and static
+// rotation phasors, shared by all captures of a segment.
+func (g *SwitchingRegulator) Prepare(band emsim.Band, _ int) any {
+	return prepComb(band, g.FSw, g.MaxHarmonics, 1, 1)
+}
+
 func harmonicsIn(f0 float64, maxN int, f1, f2 float64) []float64 {
 	var out []float64
 	for n := 1; n <= maxN; n++ {
@@ -130,16 +187,25 @@ func (g *SwitchingRegulator) Render(dst []complex128, ctx *emsim.Context) {
 	if g.MaxHarmonics <= 0 || g.FSw <= 0 {
 		panic(fmt.Sprintf("machine: regulator %q misconfigured", g.Label))
 	}
-	// Collect in-band harmonics.
 	cs := combPool.Get().(*combScratch)
 	defer combPool.Put(cs)
-	ns := cs.ns[:0]
-	for n := 1; n <= g.MaxHarmonics; n++ {
-		if ctx.Band.Contains(float64(n) * g.FSw) {
-			ns = append(ns, n)
+	// In-band harmonics and static rotations come from the segment prep
+	// when rendering under a plan, and are derived inline (by the same
+	// expressions) otherwise.
+	pre, _ := ctx.Prep.(*combPrep)
+	var ns []int
+	if pre != nil {
+		ns = pre.ns
+	} else {
+		scan := cs.ns[:0]
+		for n := 1; n <= g.MaxHarmonics; n++ {
+			if ctx.Band.Contains(float64(n) * g.FSw) {
+				scan = append(scan, n)
+			}
 		}
+		cs.ns = scan
+		ns = scan
 	}
-	cs.ns = ns
 	if len(ns) == 0 {
 		return
 	}
@@ -170,15 +236,31 @@ func (g *SwitchingRegulator) Render(dst []complex128, ctx *emsim.Context) {
 	// powers also provide sin(πnd) for the d·sinc(n·d) line magnitudes.
 	base := 2 * math.Pi * r.Float64()
 	cs.grow(len(ns))
-	z, stepStatic, wpow, dpow := cs.z, cs.stepStatic, cs.wpow, cs.dpow
+	z, wpow, dpow, amp := cs.z, cs.wpow, cs.dpow, cs.amp
+	stepStatic := cs.stepStatic
+	if pre != nil {
+		stepStatic = pre.stepStatic
+	}
 	for k, n := range ns {
 		fn := float64(n)
 		s, c := math.Sincos(wrapPhase(fn * base))
 		z[k] = complex(c, s)
-		s, c = math.Sincos(2 * math.Pi * (fn*g.FSw - ctx.Band.Center) * dt)
-		stepStatic[k] = complex(c, s)
+		if pre == nil {
+			s, c = math.Sincos(2 * math.Pi * (fn*g.FSw - ctx.Band.Center) * dt)
+			stepStatic[k] = complex(c, s)
+		}
 		wpow[k] = 1
 	}
+	// Re-slice the working arrays to a common length so the hot loops
+	// index them without bounds checks.
+	z = z[:len(ns)]
+	stepStatic = stepStatic[:len(z)]
+	dpow = dpow[:len(z)]
+	amp = amp[:len(z)]
+	// The duty phasor and line amplitudes depend only on (d, ampl), which
+	// the one-pole loop holds constant once the load settles — so they are
+	// refreshed only when the smoothed load moves, not every sample.
+	lastD, lastAmpl := math.NaN(), math.NaN()
 	renorm := 0
 	for i := range dst {
 		t := ctx.Start + float64(i)*dt
@@ -187,26 +269,57 @@ func (g *SwitchingRegulator) Render(dst []complex128, ctx *emsim.Context) {
 		d := g.BaseDuty + g.DutySwing*smoothedLoad
 		ampl := 1 + g.AmpSwing*smoothedLoad
 		df := wander.Step(dt, r)
-		if df != 0 {
-			ws, wc := math.Sincos(2 * math.Pi * df * dt)
-			sig.PowChain(wpow, ns, complex(wc, ws))
-		}
-		ds, dc := math.Sincos(-math.Pi * d)
-		sig.PowChain(dpow, ns, complex(dc, ds))
-		for k, n := range ns {
-			fn := float64(n)
-			// Fourier magnitude of harmonic n at duty d: d·sinc(n·d),
-			// with sin(πnd) = −imag(e^{-iπnd}) read off the duty phasor.
-			x := fn * d
-			mag := d
-			if x != 0 {
-				mag = d * -imag(dpow[k]) / (math.Pi * x)
+		if d != lastD || ampl != lastAmpl {
+			if d != lastD {
+				ds, dc := math.Sincos(-math.Pi * d)
+				sig.PowChain(dpow, ns, complex(dc, ds))
 			}
-			a := a0 * mag * ampl
-			// Pulse-train harmonic phase is -π·n·d (pulse centering).
-			v := z[k] * dpow[k]
-			dst[i] += complex(a*real(v), a*imag(v))
-			z[k] *= stepStatic[k] * wpow[k]
+			for k, n := range ns {
+				fn := float64(n)
+				// Fourier magnitude of harmonic n at duty d: d·sinc(n·d),
+				// with sin(πnd) = −imag(e^{-iπnd}) read off the duty phasor.
+				x := fn * d
+				mag := d
+				if x != 0 {
+					mag = d * -imag(dpow[k]) / (math.Pi * x)
+				}
+				amp[k] = a0 * mag * ampl
+			}
+			lastD, lastAmpl = d, ampl
+		}
+		if df != 0 {
+			// Fused wander power chain (see UnmodulatedClock.Render): cur
+			// runs through PowChain's exact multiply sequence, so z evolves
+			// bit-identically without the wpow array round trip.
+			ws, wc := math.Sincos(2 * math.Pi * df * dt)
+			w := complex(wc, ws)
+			curw := complex(1, 0)
+			m := 0
+			acc := dst[i]
+			for k := range z {
+				dd := ns[k] - m
+				if dd < 8 {
+					for ; dd > 0; dd-- {
+						curw *= w
+					}
+				} else {
+					curw *= sig.Ipow(w, dd)
+				}
+				m = ns[k]
+				// Pulse-train harmonic phase is -π·n·d (pulse centering).
+				v := z[k] * dpow[k]
+				acc += complex(amp[k]*real(v), amp[k]*imag(v))
+				z[k] *= stepStatic[k] * curw
+			}
+			dst[i] = acc
+		} else {
+			acc := dst[i]
+			for k := range z {
+				v := z[k] * dpow[k]
+				acc += complex(amp[k]*real(v), amp[k]*imag(v))
+				z[k] *= stepStatic[k] * wpow[k]
+			}
+			dst[i] = acc
 		}
 		if renorm++; renorm >= sig.RotatorRenorm {
 			renorm = 0
@@ -254,6 +367,11 @@ func (g *ConstantOnTimeRegulator) AMModulated() bool { return false }
 func (g *ConstantOnTimeRegulator) Carriers(f1, f2 float64) []float64 {
 	return harmonicsIn(g.F0, 8, f1, f2)
 }
+
+// BandExtent implements emsim.Extenter: the event-driven impulse train is
+// wideband (each pulse deposits energy across the whole capture band), so
+// the planner never skips it.
+func (g *ConstantOnTimeRegulator) BandExtent() emsim.Extent { return emsim.Everywhere() }
 
 // Render implements emsim.Component: an event-driven pulse train. Each
 // switching cycle deposits one band-limited impulse whose area equals
@@ -349,6 +467,11 @@ func (g *RefreshEmitter) AMModulated() bool { return true }
 func (g *RefreshEmitter) Carriers(f1, f2 float64) []float64 {
 	return harmonicsIn(float64(g.Ranks)/g.TRefi, g.MaxHarmonics, f1, f2)
 }
+
+// BandExtent implements emsim.Extenter: refresh renders band-limited
+// impulses, whose energy spans every capture band (that wideband grid is
+// the signal of §4.2), so the planner never skips it.
+func (g *RefreshEmitter) BandExtent() emsim.Extent { return emsim.Everywhere() }
 
 // Render implements emsim.Component.
 func (g *RefreshEmitter) Render(dst []complex128, ctx *emsim.Context) {
@@ -460,21 +583,65 @@ func (g *SSCClock) Carriers(f1, f2 float64) []float64 {
 	return out
 }
 
+// sscInBand reports whether harmonic n's swept range [n·(F0−Spread), n·F0]
+// intersects the band — the shared gate of Render, Prepare, and BandExtent
+// (via Band.Overlaps, which is equivalent for lo <= hi).
+func (g *SSCClock) sscInBand(band emsim.Band, n int) bool {
+	fn := float64(n)
+	lo, hi := fn*(g.F0-g.SpreadHz), fn*g.F0
+	return band.Contains(lo) || band.Contains(hi) ||
+		(lo < band.Center && hi > band.Center)
+}
+
+// BandExtent implements emsim.Extenter: one span per odd harmonic covering
+// its spread-spectrum excursion [n·(F0−SpreadHz), n·F0] (down-spread; the
+// span degenerates to a line for an unspread clock).
+func (g *SSCClock) BandExtent() emsim.Extent {
+	var spans []emsim.Span
+	for n := 1; n <= g.MaxHarmonics; n += 2 {
+		fn := float64(n)
+		spans = append(spans, emsim.Span{Lo: fn * (g.F0 - g.SpreadHz), Hi: fn * g.F0})
+	}
+	return emsim.Extent{Spans: spans}
+}
+
+// Prepare implements emsim.Prepper: the in-band harmonic list (by the
+// swept-range test) and static rotation phasors for the segment.
+func (g *SSCClock) Prepare(band emsim.Band, _ int) any {
+	p := &combPrep{}
+	for n := 1; n <= g.MaxHarmonics; n += 2 {
+		if g.sscInBand(band, n) {
+			p.ns = append(p.ns, n)
+		}
+	}
+	dt := 1 / band.SampleRate
+	p.stepStatic = make([]complex128, len(p.ns))
+	for k, n := range p.ns {
+		s, c := math.Sincos(2 * math.Pi * (float64(n)*g.F0 - band.Center) * dt)
+		p.stepStatic[k] = complex(c, s)
+	}
+	return p
+}
+
 // Render implements emsim.Component.
 func (g *SSCClock) Render(dst []complex128, ctx *emsim.Context) {
 	// Collect odd harmonics whose swept range intersects the band.
 	cs := combPool.Get().(*combScratch)
 	defer combPool.Put(cs)
-	ns := cs.ns[:0]
-	for n := 1; n <= g.MaxHarmonics; n += 2 {
-		fn := float64(n)
-		lo, hi := fn*(g.F0-g.SpreadHz), fn*g.F0
-		if ctx.Band.Contains(lo) || ctx.Band.Contains(hi) ||
-			(lo < ctx.Band.Center && hi > ctx.Band.Center) {
-			ns = append(ns, n)
+	pre, _ := ctx.Prep.(*combPrep)
+	var ns []int
+	if pre != nil {
+		ns = pre.ns
+	} else {
+		scan := cs.ns[:0]
+		for n := 1; n <= g.MaxHarmonics; n += 2 {
+			if g.sscInBand(ctx.Band, n) {
+				scan = append(scan, n)
+			}
 		}
+		cs.ns = scan
+		ns = scan
 	}
-	cs.ns = ns
 	if len(ns) == 0 {
 		return
 	}
@@ -489,16 +656,25 @@ func (g *SSCClock) Render(dst []complex128, ctx *emsim.Context) {
 	// of the shared sweep rotation e^{i2π(f−F0)dt} — one trig call per
 	// sample instead of one per harmonic per sample.
 	cs.grow(len(ns))
-	z, stepStatic, fpow := cs.z, cs.stepStatic, cs.wpow
+	z, fpow, amp := cs.z, cs.wpow, cs.amp
+	stepStatic := cs.stepStatic
+	if pre != nil {
+		stepStatic = pre.stepStatic
+	}
 	for k, n := range ns {
 		fn := float64(n)
 		s, c := math.Sincos(wrapPhase(fn * ssc.Phase()))
 		z[k] = complex(c, s)
-		s, c = math.Sincos(2 * math.Pi * (fn*g.F0 - ctx.Band.Center) * dt)
-		stepStatic[k] = complex(c, s)
+		if pre == nil {
+			s, c = math.Sincos(2 * math.Pi * (fn*g.F0 - ctx.Band.Center) * dt)
+			stepStatic[k] = complex(c, s)
+		}
 		fpow[k] = 1
 	}
 	spread := g.SpreadHz != 0
+	// Harmonic amplitudes depend only on the activity envelope, which is
+	// piecewise constant — refresh them when it moves, not every sample.
+	lastEnv := math.NaN()
 	renorm := 0
 	for i := range dst {
 		t := ctx.Start + float64(i)*dt
@@ -508,11 +684,18 @@ func (g *SSCClock) Render(dst []complex128, ctx *emsim.Context) {
 			fs2, fc2 := math.Sincos(2 * math.Pi * (ssc.Freq() - g.F0) * dt)
 			sig.PowChain(fpow, ns, complex(fc2, fs2))
 		}
-		for k, n := range ns {
-			a := a0 * env / float64(n) // square-wave harmonic rolloff
-			dst[i] += complex(a*real(z[k]), a*imag(z[k]))
+		if env != lastEnv {
+			for k, n := range ns {
+				amp[k] = a0 * env / float64(n) // square-wave harmonic rolloff
+			}
+			lastEnv = env
+		}
+		acc := dst[i]
+		for k := range ns {
+			acc += complex(amp[k]*real(z[k]), amp[k]*imag(z[k]))
 			z[k] *= stepStatic[k] * fpow[k]
 		}
+		dst[i] = acc
 		// ssc's own phase accumulator is unused — the per-harmonic phasors
 		// above integrate n·Freq() directly — but Step also advances the
 		// sweep position, which Freq() reads.
@@ -562,17 +745,36 @@ func (g *UnmodulatedClock) Carriers(f1, f2 float64) []float64 {
 	return out
 }
 
+// BandExtent implements emsim.Extenter: lines at the odd harmonics of F0
+// — the same frequencies Render's in-band scan tests.
+func (g *UnmodulatedClock) BandExtent() emsim.Extent {
+	return lineExtent(g.F0, g.MaxHarmonics, 1, 2)
+}
+
+// Prepare implements emsim.Prepper: the in-band harmonic list and static
+// rotation phasors for the segment.
+func (g *UnmodulatedClock) Prepare(band emsim.Band, _ int) any {
+	return prepComb(band, g.F0, g.MaxHarmonics, 1, 2)
+}
+
 // Render implements emsim.Component.
 func (g *UnmodulatedClock) Render(dst []complex128, ctx *emsim.Context) {
 	cs := combPool.Get().(*combScratch)
 	defer combPool.Put(cs)
-	ns := cs.ns[:0]
-	for n := 1; n <= g.MaxHarmonics; n += 2 {
-		if ctx.Band.Contains(float64(n) * g.F0) {
-			ns = append(ns, n)
+	pre, _ := ctx.Prep.(*combPrep)
+	var ns []int
+	if pre != nil {
+		ns = pre.ns
+	} else {
+		scan := cs.ns[:0]
+		for n := 1; n <= g.MaxHarmonics; n += 2 {
+			if ctx.Band.Contains(float64(n) * g.F0) {
+				scan = append(scan, n)
+			}
 		}
+		cs.ns = scan
+		ns = scan
 	}
-	cs.ns = ns
 	if len(ns) == 0 {
 		return
 	}
@@ -586,26 +788,86 @@ func (g *UnmodulatedClock) Render(dst []complex128, ctx *emsim.Context) {
 	// zero wander — then the loop is trig-free).
 	base := 2 * math.Pi * r.Float64()
 	cs.grow(len(ns))
-	z, stepStatic, wpow := cs.z, cs.stepStatic, cs.wpow
+	z, wpow, amp := cs.z, cs.wpow, cs.amp
+	stepStatic := cs.stepStatic
+	if pre != nil {
+		stepStatic = pre.stepStatic
+	}
 	for k, n := range ns {
 		fn := float64(n)
 		s, c := math.Sincos(wrapPhase(fn * base))
 		z[k] = complex(c, s)
-		s, c = math.Sincos(2 * math.Pi * (fn*g.F0 - ctx.Band.Center) * dt)
-		stepStatic[k] = complex(c, s)
+		if pre == nil {
+			s, c = math.Sincos(2 * math.Pi * (fn*g.F0 - ctx.Band.Center) * dt)
+			stepStatic[k] = complex(c, s)
+		}
 		wpow[k] = 1
+		amp[k] = a0 / float64(n)
 	}
+	// Re-slice the working arrays to a common length so the hot loops
+	// index them without bounds checks.
+	z = z[:len(ns)]
+	stepStatic = stepStatic[:len(z)]
+	amp = amp[:len(z)]
 	renorm := 0
+	if g.WanderSigma == 0 {
+		// Crystal clock: no wander process to step (Step draws nothing and
+		// returns 0 for Sigma == 0) and wpow stays the identity, so the
+		// sample loop is a bare rotate-and-accumulate. The sample's terms
+		// sum into a local in the same ascending-k order dst[i] would
+		// accumulate them (bit-identical), keeping the accumulator in a
+		// register — the compiler cannot do this itself because the z
+		// stores might alias dst.
+		for i := range dst {
+			acc := dst[i]
+			for k := range z {
+				acc += complex(amp[k]*real(z[k]), amp[k]*imag(z[k]))
+				z[k] *= stepStatic[k]
+			}
+			dst[i] = acc
+			if renorm++; renorm >= sig.RotatorRenorm {
+				renorm = 0
+				for k := range z {
+					z[k] = sig.Renormalize(z[k])
+				}
+			}
+		}
+		return
+	}
 	for i := range dst {
 		df := wander.Step(dt, r)
 		if df != 0 {
+			// The wander power chain is fused into the accumulation loop:
+			// cur advances through the same sequence of multiplies PowChain
+			// would store into wpow, so z evolves bit-identically while the
+			// wpow array round trip disappears.
 			ws, wc := math.Sincos(2 * math.Pi * df * dt)
-			sig.PowChain(wpow, ns, complex(wc, ws))
-		}
-		for k, n := range ns {
-			a := a0 / float64(n)
-			dst[i] += complex(a*real(z[k]), a*imag(z[k]))
-			z[k] *= stepStatic[k] * wpow[k]
+			w := complex(wc, ws)
+			cur := complex(1, 0)
+			m := 0
+			acc := dst[i]
+			for k := range z {
+				d := ns[k] - m
+				if d < 8 {
+					for ; d > 0; d-- {
+						cur *= w
+					}
+				} else {
+					cur *= sig.Ipow(w, d)
+				}
+				m = ns[k]
+				zk := z[k]
+				acc += complex(amp[k]*real(zk), amp[k]*imag(zk))
+				z[k] = zk * (stepStatic[k] * cur)
+			}
+			dst[i] = acc
+		} else {
+			acc := dst[i]
+			for k := range z {
+				acc += complex(amp[k]*real(z[k]), amp[k]*imag(z[k]))
+				z[k] *= stepStatic[k] * wpow[k]
+			}
+			dst[i] = acc
 		}
 		if renorm++; renorm >= sig.RotatorRenorm {
 			renorm = 0

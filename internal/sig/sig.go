@@ -23,6 +23,12 @@ type OU struct {
 	Sigma float64 // stationary RMS value
 	Tau   float64 // correlation time in seconds
 	x     float64
+	// Cached discretization coefficients for the last step size. Renderers
+	// step with a constant dt (the sample period), so the exp/sqrt of the
+	// exact OU discretization is paid once per capture, not once per
+	// sample. The cached values are the same expressions Step evaluated
+	// inline before, so the process trajectory is unchanged bit for bit.
+	cdt, ca, cnoise float64
 }
 
 // Init draws the state from the stationary distribution so captures start
@@ -39,9 +45,12 @@ func (p *OU) Step(dt float64, r *rand.Rand) float64 {
 	if p.Tau <= 0 {
 		panic(fmt.Sprintf("sig: OU tau must be positive, got %g", p.Tau))
 	}
-	a := math.Exp(-dt / p.Tau)
+	if dt != p.cdt {
+		a := math.Exp(-dt / p.Tau)
+		p.cdt, p.ca, p.cnoise = dt, a, p.Sigma*math.Sqrt(1-a*a)
+	}
 	// Exact discretization of the OU SDE.
-	p.x = a*p.x + p.Sigma*math.Sqrt(1-a*a)*r.NormFloat64()
+	p.x = p.ca*p.x + p.cnoise*r.NormFloat64()
 	return p.x
 }
 
@@ -135,15 +144,19 @@ func PowChain(dst []complex128, ns []int, w complex128) {
 				cur *= w
 			}
 		} else {
-			cur *= ipow(w, d)
+			cur *= Ipow(w, d)
 		}
 		m = n
 		dst[j] = cur
 	}
 }
 
-// ipow computes w^e by binary exponentiation.
-func ipow(w complex128, e int) complex128 {
+// Ipow computes w^e by binary exponentiation. It is the gap fallback of
+// PowChain, exported so renderers that fuse the power chain into their
+// accumulation loop (avoiding the wpow round trip through memory) produce
+// the exact same sequence of multiplies, and therefore the exact same
+// bits, as a PowChain pass followed by a separate loop.
+func Ipow(w complex128, e int) complex128 {
 	r := complex(1, 0)
 	for e > 0 {
 		if e&1 == 1 {

@@ -1,0 +1,129 @@
+package specan
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"fase/internal/activity"
+	"fase/internal/dsp/spectral"
+	"fase/internal/dsp/window"
+	"fase/internal/emsim"
+	"fase/internal/machine"
+	"fase/internal/microbench"
+)
+
+// TestSweepEquivalencePlannedUnplanned is the end-to-end counterpart of
+// the machine-level render equivalence test: one Request swept with and
+// without render planning, serial and parallel, must produce the same
+// spectrum bit for bit.
+func TestSweepEquivalencePlannedUnplanned(t *testing.T) {
+	sys, err := machine.Lookup("i7-desktop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := func(scene *emsim.Scene) Request {
+		return Request{
+			Scene: scene, F1: 250e3, F2: 750e3, Seed: 17,
+			Activity: microbench.Generate(microbench.Config{
+				X: activity.LDM, Y: activity.LDL1, FAlt: 43.3e3,
+				Jitter: microbench.DefaultJitter(), Seed: 17,
+			}, 1.0),
+		}
+	}
+	var ref *spectral.Spectrum
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"planned serial", Config{Fres: 100, MaxFFT: 1 << 14, Parallelism: 1}},
+		{"unplanned serial", Config{Fres: 100, MaxFFT: 1 << 14, Parallelism: 1, NoPlan: true}},
+		{"planned parallel", Config{Fres: 100, MaxFFT: 1 << 14, Parallelism: runtime.GOMAXPROCS(0)}},
+		{"unplanned parallel", Config{Fres: 100, MaxFFT: 1 << 14, Parallelism: runtime.GOMAXPROCS(0), NoPlan: true}},
+	} {
+		scene := sys.Scene(17, true)
+		s := New(tc.cfg).Sweep(req(scene))
+		if ref == nil {
+			ref = s
+			continue
+		}
+		if s.F0 != ref.F0 || s.Fres != ref.Fres || s.Bins() != ref.Bins() {
+			t.Fatalf("%s: geometry %g/%g/%d, want %g/%g/%d",
+				tc.name, s.F0, s.Fres, s.Bins(), ref.F0, ref.Fres, ref.Bins())
+		}
+		for i := range s.PmW {
+			if math.Float64bits(s.PmW[i]) != math.Float64bits(ref.PmW[i]) {
+				t.Fatalf("%s: bin %d (%.1f Hz) = %x, reference %x",
+					tc.name, i, s.Freq(i), math.Float64bits(s.PmW[i]),
+					math.Float64bits(ref.PmW[i]))
+			}
+		}
+	}
+}
+
+// TestSweepPlanCacheReuse checks the analyzer caches plans per segment:
+// a second sweep of the same scene and geometry reuses the cached entries
+// rather than recomputing (observable as identical plan pointers).
+func TestSweepPlanCacheReuse(t *testing.T) {
+	scene := &emsim.Scene{}
+	scene.Add(&tone{freq: 0.5e6, dbm: -80}, &emsim.Background{FloorDBmPerHz: -172})
+	an := New(Config{Fres: 200, MaxFFT: 4096, Parallelism: 1})
+	an.Sweep(Request{Scene: scene, F1: 0.2e6, F2: 0.8e6, Seed: 1})
+	var first []*emsim.RenderPlan
+	an.plans.Range(func(_, v any) bool {
+		first = append(first, v.(*emsim.RenderPlan))
+		return true
+	})
+	if len(first) == 0 {
+		t.Fatal("sweep left no cached plans")
+	}
+	an.Sweep(Request{Scene: scene, F1: 0.2e6, F2: 0.8e6, Seed: 2})
+	count := 0
+	an.plans.Range(func(_, v any) bool {
+		count++
+		return true
+	})
+	if count != len(first) {
+		t.Errorf("second sweep grew the plan cache to %d entries (was %d)", count, len(first))
+	}
+}
+
+// TestConfigWindowDefault pins the Window zero-value semantics: the zero
+// value means "analyzer default" (Blackman-Harris), while every concrete
+// window — including Rectangular — is honored as-is.
+func TestConfigWindowDefault(t *testing.T) {
+	if got := (Config{Fres: 100}).withDefaults().Window; got != window.BlackmanHarris {
+		t.Errorf("zero-value Window resolves to %v, want BlackmanHarris", got)
+	}
+	for _, w := range []window.Type{window.Rectangular, window.Hann, window.BlackmanHarris} {
+		if got := (Config{Fres: 100, Window: w}).withDefaults().Window; got != w {
+			t.Errorf("Window %v not preserved: got %v", w, got)
+		}
+	}
+}
+
+// TestSweepRectangularWindowSelectable is the regression test for the
+// zero-value trap this sentinel fixes: asking for a rectangular window
+// must actually change the spectrum (before window.Default existed,
+// Rectangular WAS the zero value and silently became Blackman-Harris).
+func TestSweepRectangularWindowSelectable(t *testing.T) {
+	scene := &emsim.Scene{}
+	// A tone off the bin grid: leakage differs sharply between windows.
+	scene.Add(&tone{freq: 0.51237e6, dbm: -70})
+	run := func(w window.Type) *spectral.Spectrum {
+		an := New(Config{Fres: 100, MaxFFT: 4096, Parallelism: 1, Window: w})
+		return an.Sweep(Request{Scene: scene, F1: 0.45e6, F2: 0.6e6, Seed: 5})
+	}
+	def := run(window.Default)
+	rect := run(window.Rectangular)
+	same := true
+	for i := range def.PmW {
+		if math.Float64bits(def.PmW[i]) != math.Float64bits(rect.PmW[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("rectangular window produced the default window's spectrum")
+	}
+}

@@ -29,9 +29,10 @@ type Config struct {
 	// Averages is the number of traces averaged per segment (the paper
 	// averages 4 captures, §3). Zero means 4.
 	Averages int
-	// Window selects the FFT window; the zero value selects
-	// Blackman-Harris, whose -92 dB side lobes keep strong AM stations
-	// from burying the µW-level system signals.
+	// Window selects the FFT window. The zero value (window.Default)
+	// selects Blackman-Harris, whose -92 dB side lobes keep strong AM
+	// stations from burying the µW-level system signals; every concrete
+	// window — including window.Rectangular — is honored as given.
 	Window window.Type
 	// MaxFFT caps the per-segment transform size (power of two). Zero
 	// means 1<<17.
@@ -46,13 +47,19 @@ type Config struct {
 	// their sweep position and reduced in a fixed order, so parallelism
 	// changes only wall-clock time, never output.
 	Parallelism int
+	// NoPlan disables per-segment render planning (see emsim.RenderPlan):
+	// every capture then walks every scene component with no precomputed
+	// state. Planned and unplanned rendering are bit-identical by design —
+	// this is a debugging escape hatch for isolating the planner, not a
+	// result-changing switch.
+	NoPlan bool
 }
 
 func (c Config) withDefaults() Config {
 	if c.Averages == 0 {
 		c.Averages = 4
 	}
-	if c.Window == window.Rectangular {
+	if c.Window == window.Default {
 		c.Window = window.BlackmanHarris
 	}
 	if c.MaxFFT == 0 {
@@ -79,6 +86,37 @@ type Analyzer struct {
 	// sem is the capture-level concurrency budget shared by all sweeps on
 	// this analyzer.
 	sem chan struct{}
+	// plans caches render plans per segment geometry (planKey). Segment
+	// geometry is identical across a sweep's averages and across the
+	// NumAlts sweeps of a campaign sharing this analyzer, so each segment's
+	// component culling and per-component preparation happens once, not
+	// once per capture.
+	plans sync.Map
+}
+
+// planKey identifies a segment's render geometry. Near-field settings are
+// deliberately absent: plans hold only geometry (active subsets, harmonic
+// lists, rotation phasors, noise densities), none of which depends on the
+// probe model.
+type planKey struct {
+	scene      *emsim.Scene
+	center, fs float64
+	n          int
+}
+
+// planFor returns the cached render plan for a segment, computing it on
+// first use. Concurrent first uses may both compute the plan; plans are
+// deterministic, so either result is valid and LoadOrStore keeps one.
+func (a *Analyzer) planFor(scene *emsim.Scene, band emsim.Band, n int) *emsim.RenderPlan {
+	if a.cfg.NoPlan {
+		return nil
+	}
+	key := planKey{scene: scene, center: band.Center, fs: band.SampleRate, n: n}
+	if v, ok := a.plans.Load(key); ok {
+		return v.(*emsim.RenderPlan)
+	}
+	v, _ := a.plans.LoadOrStore(key, scene.Plan(band, n))
+	return v.(*emsim.RenderPlan)
 }
 
 // New creates an analyzer. See Config for defaults.
@@ -164,15 +202,17 @@ func (a *Analyzer) segGeom(p plan, f1 float64, s int) (fStart, center float64, b
 // from pools, so steady state allocates nothing.
 func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.Spectrum) {
 	_, center, _ := a.segGeom(p, req.F1, capIdx/a.cfg.Averages)
+	band := emsim.Band{Center: center, SampleRate: p.fs}
 	buf := bufpool.Complex(p.nfft)
 	req.Scene.RenderInto(buf, emsim.Capture{
-		Band:            emsim.Band{Center: center, SampleRate: p.fs},
+		Band:            band,
 		Start:           float64(capIdx) * a.CaptureDuration(),
 		N:               p.nfft,
 		Activity:        req.Activity,
 		Seed:            req.Seed + int64(capIdx)*7919,
 		NearField:       req.NearField,
 		NearFieldGainDB: req.NearFieldGainDB,
+		Plan:            a.planFor(req.Scene, band, p.nfft),
 	})
 	spectral.PeriodogramInPlace(out, buf, p.fs, center, a.cfg.Window)
 	bufpool.PutComplex(buf)
