@@ -196,22 +196,68 @@ func writeBenchJSON(b *testing.B, name string, nsPerOp int64) {
 
 // BenchmarkCampaignNarrowband times the core FASE pipeline (5 sweeps +
 // scoring + detection) on a regulator-band campaign — the unit of work an
-// operator iterates on.
+// operator iterates on. It records BENCH_campaign.json for the Makefile's
+// campaign regression gate, including the per-stage wall split from one
+// instrumented run taken outside the timed region.
 func BenchmarkCampaignNarrowband(b *testing.B) {
 	sys, err := fase.LookupSystem("i7-desktop")
 	if err != nil {
 		b.Fatal(err)
 	}
 	runner := fase.NewRunner(sys.Scene(1, true))
+	campaign := fase.Campaign{
+		F1: 250e3, F2: 550e3, Fres: 100,
+		FAlt1: 43.3e3, FDelta: 1e3,
+		X: fase.LDM, Y: fase.LDL1,
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := runner.Run(fase.Campaign{
-			F1: 250e3, F2: 550e3, Fres: 100,
-			FAlt1: 43.3e3, FDelta: 1e3,
-			X: fase.LDM, Y: fase.LDL1, Seed: int64(i),
-		})
+		c := campaign
+		c.Seed = int64(i)
+		res := runner.Run(c)
 		if len(res.Detections) == 0 {
 			b.Fatal("no detections")
 		}
+	}
+	b.StopTimer()
+	nsPerOp := b.Elapsed().Nanoseconds() / int64(b.N)
+	// One instrumented run, outside the timed loop, attributes the time to
+	// pipeline stages; the split rides along in the baseline file.
+	obsRunner := fase.NewRunner(sys.Scene(1, true))
+	obsRunner.Obs = fase.NewObsRun()
+	if _, err := obsRunner.RunE(campaign); err != nil {
+		b.Fatal(err)
+	}
+	writeCampaignBenchJSON(b, nsPerOp, obsRunner.Obs.Manifest())
+}
+
+// writeCampaignBenchJSON records the campaign benchmark result plus its
+// stage split for the bench-regress campaign gate. As with FASE_BENCH_OUT,
+// FASE_BENCH_CAMPAIGN_OUT redirects the fresh run to a temporary path;
+// unset, the committed BENCH_campaign.json baseline is refreshed in place.
+func writeCampaignBenchJSON(b *testing.B, nsPerOp int64, m *fase.RunManifest) {
+	path := os.Getenv("FASE_BENCH_CAMPAIGN_OUT")
+	if path == "" {
+		path = "BENCH_campaign.json"
+	}
+	type stage struct {
+		Name        string  `json:"name"`
+		WallSeconds float64 `json:"wall_seconds"`
+	}
+	rec := struct {
+		Benchmark  string  `json:"benchmark"`
+		Iterations int     `json:"iterations"`
+		NsPerOp    int64   `json:"ns_per_op"`
+		Stages     []stage `json:"stages"`
+	}{Benchmark: "BenchmarkCampaignNarrowband", Iterations: b.N, NsPerOp: nsPerOp}
+	for _, st := range m.Stages {
+		rec.Stages = append(rec.Stages, stage{Name: st.Name, WallSeconds: st.WallSeconds})
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

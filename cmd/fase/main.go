@@ -5,11 +5,15 @@
 //
 //	fase [-system NAME] [-pair X/Y] [-f1 Hz] [-f2 Hz] [-fres Hz]
 //	     [-falt Hz] [-fdelta Hz] [-seed N] [-classify] [-environment=true]
+//	     [-metrics-out FILE] [-trace-out FILE] [-manifest-out FILE]
+//	     [-pprof ADDR]
 //
 // Examples:
 //
 //	fase -system i7-desktop -pair LDM/LDL1 -f1 100e3 -f2 4e6
 //	fase -system turion-laptop -classify
+//	fase -manifest-out run.json -trace-out trace.json -pprof localhost:6060
+//	fase -validate-manifest run.json
 package main
 
 import (
@@ -18,13 +22,19 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"fase/internal/activity"
 	"fase/internal/core"
 	"fase/internal/machine"
+	"fase/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	sysName := flag.String("system", "i7-desktop", "system model to measure (see -list)")
 	list := flag.Bool("list", false, "list available system models and exit")
 	pair := flag.String("pair", "LDM/LDL1", "X/Y activity pair for the alternation micro-benchmark")
@@ -36,8 +46,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	env := flag.Bool("environment", true, "include the metropolitan RF environment")
 	classify := flag.Bool("classify", false, "also run the on-chip pair (LDL2/LDL1) and classify carriers")
+	metricsOut := flag.String("metrics-out", "", "write a JSON snapshot of process metrics to FILE on exit")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of campaign stages to FILE (load in chrome://tracing or Perfetto)")
+	manifestOut := flag.String("manifest-out", "", "write the primary campaign's run manifest (JSON) to FILE")
+	pprofAddr := flag.String("pprof", "", "serve live pprof + /metrics on ADDR (e.g. localhost:6060) while running")
+	validateManifest := flag.String("validate-manifest", "", "validate a run-manifest FILE against the schema and exit")
 	flag.Parse()
 
+	if *validateManifest != "" {
+		if err := obs.ValidateManifestFile(*validateManifest); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("%s: valid %s\n", *validateManifest, obs.ManifestSchema)
+		return 0
+	}
 	if *list {
 		names := make([]string, 0)
 		for n := range machine.Registry() {
@@ -48,19 +71,37 @@ func main() {
 			sys, _ := machine.Lookup(n)
 			fmt.Printf("%-15s %s (%d emitters)\n", n, sys.Name, len(sys.Emitters))
 		}
-		return
+		return 0
 	}
 	sys, err := machine.Lookup(*sysName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	x, y, err := activity.ParsePair(*pair)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
+	}
+	if *pprofAddr != "" {
+		ds, err := obs.Serve(*pprofAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer ds.Close()
+		fmt.Printf("pprof: http://%s/debug/pprof/  metrics: http://%s/metrics\n", ds.Addr, ds.Addr)
 	}
 	runner := &core.Runner{Scene: sys.Scene(*seed, *env)}
+	// The primary campaign carries the observability run; the optional
+	// classification pass shares the tracer lanes but not the manifest.
+	instrumented := *manifestOut != "" || *traceOut != ""
+	if instrumented {
+		runner.Obs = obs.NewRun()
+		if *traceOut != "" {
+			runner.Obs.Tracer = obs.NewTracer()
+		}
+	}
 	campaign := core.Campaign{
 		F1: *f1, F2: *f2, Fres: *fres,
 		FAlt1: *falt, FDelta: *fdelta,
@@ -68,14 +109,26 @@ func main() {
 	}
 	fmt.Printf("FASE scan of %s, %v/%v, %.3g–%.3g MHz at %.0f Hz RBW\n",
 		sys.Name, x, y, *f1/1e6, *f2/1e6, *fres)
-	res := runner.Run(campaign)
+	start := time.Now()
+	res, err := runner.RunE(campaign)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 	printResult(res)
 
 	if *classify {
 		campaign2 := campaign
 		campaign2.X, campaign2.Y = activity.LDL2, activity.LDL1
 		fmt.Printf("\nClassification pass (%v/%v):\n", campaign2.X, campaign2.Y)
-		res2 := runner.Run(campaign2)
+		// The manifest is finalized for the primary campaign; detach it so
+		// the classification pass doesn't mix its timings in.
+		classifier := &core.Runner{Scene: runner.Scene}
+		res2, err := classifier.RunE(campaign2)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 		printResult(res2)
 		fmt.Println("\nCarrier classification:")
 		for _, cc := range core.Classify(res, res2, 1e3) {
@@ -83,6 +136,58 @@ func main() {
 				cc.Freq/1e3, cc.Class, strings.Join(cc.Pairs, ", "))
 		}
 	}
+	fmt.Printf("\nelapsed %.2fs wall; simulated analyzer time %.2fs\n",
+		time.Since(start).Seconds(), res.SimulatedSeconds)
+
+	ok := true
+	if *manifestOut != "" {
+		if m := runner.Obs.Manifest(); m != nil {
+			if err := m.WriteFile(*manifestOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				ok = false
+			}
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, runner.Obs.Tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			ok = false
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			ok = false
+		}
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printResult(res *core.Result) {

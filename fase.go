@@ -42,6 +42,7 @@ import (
 	"fase/internal/emsim"
 	"fase/internal/machine"
 	"fase/internal/microbench"
+	"fase/internal/obs"
 	"fase/internal/specan"
 )
 
@@ -85,6 +86,28 @@ type Result = core.Result
 
 // Runner executes campaigns against a scene.
 type Runner = core.Runner
+
+// MinScoreZero is the Campaign.MinScore sentinel requesting a literal 0
+// detection threshold (a zero MinScore means "use the default").
+const MinScoreZero = core.MinScoreZero
+
+// ObsRun collects one campaign's observability — stage timings, planner
+// and cache statistics, detection provenance — into a run manifest.
+// Attach one to Runner.Obs before RunE; read the result with Manifest().
+type ObsRun = obs.Run
+
+// Tracer records campaign → sweep → capture spans and writes them as
+// Chrome trace_event JSON (set it on an ObsRun).
+type Tracer = obs.Tracer
+
+// RunManifest is the per-run record an instrumented campaign produces.
+type RunManifest = obs.Manifest
+
+// NewObsRun starts an observability run (clock + metrics snapshot).
+func NewObsRun() *ObsRun { return obs.NewRun() }
+
+// NewTracer creates a span tracer whose epoch is now.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // HarmonicSet groups detections at multiples of a common fundamental.
 type HarmonicSet = core.HarmonicSet

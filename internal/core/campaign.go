@@ -12,7 +12,14 @@ import (
 	"fase/internal/dsp/spectral"
 	"fase/internal/emsim"
 	"fase/internal/microbench"
+	"fase/internal/obs"
 	"fase/internal/specan"
+)
+
+// Process-wide campaign counters; per-run detail goes through Runner.Obs.
+var (
+	campaignsTotal  = obs.Default.Counter(obs.MetricCampaigns)
+	detectionsTotal = obs.Default.Counter(obs.MetricDetections)
 )
 
 // Campaign describes one FASE measurement campaign: a frequency range, a
@@ -34,7 +41,10 @@ type Campaign struct {
 	// Averages per spectrum; zero means 4 (§3).
 	Averages int
 	// MinScore is the detection threshold on the heuristic output; zero
-	// means 30.
+	// means 30. A literal zero threshold (accept every candidate peak)
+	// must be requested with the MinScoreZero sentinel — the same
+	// zero-value pattern window.Default uses to keep Rectangular
+	// selectable.
 	MinScore float64
 	// SmoothBins is the moving-average width (bins) applied to spectra
 	// before scoring, matched to the side-band linewidth. Zero means 9.
@@ -64,6 +74,41 @@ type Campaign struct {
 	NoPlan bool
 }
 
+// MinScoreZero is the sentinel for Campaign.MinScore that requests a
+// literal 0 detection threshold. The zero value of MinScore means "use
+// the default" (30), so — as with window.Default — an explicit sentinel
+// is needed to make the boundary value selectable. Any other negative
+// MinScore is rejected by Validate.
+const MinScoreZero = -1
+
+// Validate reports the first configuration error in the campaign:
+// inverted or empty frequency ranges, non-positive resolution, a
+// malformed alternation ladder, or a negative threshold that is not the
+// MinScoreZero sentinel. Runner.RunE calls it before doing any work, so
+// misconfiguration surfaces as a returned error instead of a panic deep
+// in the sweep or a silently empty result.
+func (c Campaign) Validate() error {
+	if c.Fres <= 0 {
+		return fmt.Errorf("core: campaign resolution Fres must be positive, got %g Hz", c.Fres)
+	}
+	if c.F2 <= c.F1 {
+		return fmt.Errorf("core: campaign range [%g, %g] Hz is empty or inverted", c.F1, c.F2)
+	}
+	if c.FAlt1 <= 0 || c.FDelta <= 0 {
+		return fmt.Errorf("core: campaign needs positive FAlt1/FDelta, got %g/%g", c.FAlt1, c.FDelta)
+	}
+	if c.NumAlts != 0 && c.NumAlts < 2 {
+		return fmt.Errorf("core: campaign needs at least 2 alternation frequencies, got %d", c.NumAlts)
+	}
+	if c.MinScore < 0 && c.MinScore != MinScoreZero {
+		return fmt.Errorf("core: campaign MinScore %g is negative (use MinScoreZero for a zero threshold)", c.MinScore)
+	}
+	if c.Averages < 0 {
+		return fmt.Errorf("core: campaign Averages must be non-negative, got %d", c.Averages)
+	}
+	return nil
+}
+
 func (c Campaign) withDefaults() Campaign {
 	if c.NumAlts == 0 {
 		c.NumAlts = 5
@@ -74,7 +119,9 @@ func (c Campaign) withDefaults() Campaign {
 	if c.Averages == 0 {
 		c.Averages = 4
 	}
-	if c.MinScore == 0 {
+	if c.MinScore == MinScoreZero {
+		c.MinScore = 0
+	} else if c.MinScore == 0 {
 		c.MinScore = 30
 	}
 	if c.SmoothBins == 0 {
@@ -102,12 +149,6 @@ func (c Campaign) withDefaults() Campaign {
 	if c.Jitter == nil {
 		j := microbench.DefaultJitter()
 		c.Jitter = &j
-	}
-	if c.FAlt1 <= 0 || c.FDelta <= 0 {
-		panic(fmt.Sprintf("core: campaign needs positive FAlt1/FDelta, got %g/%g", c.FAlt1, c.FDelta))
-	}
-	if c.NumAlts < 2 {
-		panic(fmt.Sprintf("core: campaign needs at least 2 alternation frequencies, got %d", c.NumAlts))
 	}
 	return c
 }
@@ -147,6 +188,10 @@ type Measurement struct {
 type Detection struct {
 	// Freq is the computed carrier frequency.
 	Freq float64
+	// Bin is Freq's index on the campaign's score grid (Result.Grid),
+	// letting provenance consumers read the per-harmonic traces behind
+	// this detection without re-deriving the bin.
+	Bin int
 	// Score is the strongest heuristic value across harmonics.
 	Score float64
 	// BestHarmonic is the harmonic achieving Score.
@@ -173,6 +218,10 @@ type Result struct {
 	Elevated map[int][]int
 	// Detections, sorted by frequency.
 	Detections []Detection
+	// SimulatedSeconds is the observation time the modeled spectrum
+	// analyzer spent across all sweeps (NumAlts × Analyzer.TotalDuration)
+	// — the paper's scan time, as opposed to the simulation's wall time.
+	SimulatedSeconds float64
 }
 
 // Grid returns the frequency of score bin k.
@@ -186,23 +235,57 @@ type Runner struct {
 	// NearField/NearFieldGainDB select the localization probe model.
 	NearField       bool
 	NearFieldGainDB float64
+	// Obs, when non-nil, instruments the campaign: stage wall/CPU
+	// timings, per-capture render/FFT time, planner and cache
+	// statistics, and detection provenance, all folded into a run
+	// manifest by RunE (via obs.Run.Finish). Attach an obs.Tracer to
+	// also record campaign → sweep → capture spans. Instrumentation
+	// never changes results (enforced by the equivalence tests).
+	Obs *obs.Run
 }
 
 // Run executes the campaign: one sweep per alternation frequency with the
 // micro-benchmark generating that alternation, heuristic scoring for
-// every harmonic, and peak detection to produce carrier detections.
+// every harmonic, and peak detection to produce carrier detections. It
+// panics on a misconfigured campaign; RunE is the error-returning form.
 func (r *Runner) Run(c Campaign) *Result {
-	c = c.withDefaults()
-	if r.Scene == nil {
-		panic("core: Runner needs a Scene")
+	res, err := r.RunE(c)
+	if err != nil {
+		panic(err)
 	}
-	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism, NoPlan: c.NoPlan})
+	return res
+}
+
+// RunE is Run with configuration errors returned instead of panicking:
+// the campaign is checked with Validate (and the Runner for a Scene)
+// before any work starts. When Runner.Obs is set, the four pipeline
+// stages — sweeps, smooth, score, detect — are timed and traced, and the
+// run's manifest is finalized with the resolved configuration and per-
+// detection provenance before returning.
+func (r *Runner) RunE(c Campaign) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Scene == nil {
+		return nil, fmt.Errorf("core: Runner needs a Scene")
+	}
+	c = c.withDefaults()
+	campaignsTotal.Inc()
+	run := r.Obs
+	var camp obs.Span
+	if run != nil {
+		camp = run.Tracer.Begin("campaign")
+	}
+	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism, NoPlan: c.NoPlan, Obs: run})
 	res := &Result{Campaign: c}
 	falts := c.FAlts()
+	res.SimulatedSeconds = float64(len(falts)) * an.TotalDuration(c.F1, c.F2)
 	// The per-f_alt measurements are independent (each has its own seeds
 	// and activity trace), so they run concurrently. Results are written
 	// by index, keeping the output identical to a sequential run.
 	res.Measurements = make([]Measurement, len(falts))
+	endSweeps := run.Stage("sweeps")
+	sweepsSpan := camp.Child("sweeps")
 	var wg sync.WaitGroup
 	for i, fa := range falts {
 		wg.Add(1)
@@ -216,11 +299,16 @@ func (r *Runner) Run(c Campaign) *Result {
 				Scene: r.Scene, F1: c.F1, F2: c.F2, Activity: tr,
 				Seed:      c.Seed + int64(i)*15485863,
 				NearField: r.NearField, NearFieldGainDB: r.NearFieldGainDB,
+				Span: sweepsSpan,
 			})
 			res.Measurements[i] = Measurement{FAlt: fa, Spectrum: sp}
 		}(i, fa)
 	}
 	wg.Wait()
+	sweepsSpan.End()
+	endSweeps()
+	endSmooth := run.Stage("smooth")
+	smoothSpan := camp.Child("smooth")
 	spectra := make([]*spectral.Spectrum, len(res.Measurements))
 	smoothed := make([]*spectral.Spectrum, len(res.Measurements))
 	for i, m := range res.Measurements {
@@ -230,17 +318,93 @@ func (r *Runner) Run(c Campaign) *Result {
 		smoothed[i] = &spectral.Spectrum{PmW: bufpool.Float(m.Spectrum.Bins())}
 		SmoothSpectrumInto(smoothed[i], m.Spectrum, c.SmoothBins)
 	}
+	smoothSpan.End()
+	endSmooth()
+	endScore := run.Stage("score")
+	scoreSpan := camp.Child("score")
 	res.Scores = make(map[int][]float64, len(c.Harmonics))
 	res.Elevated = make(map[int][]int, len(c.Harmonics))
 	for _, h := range c.Harmonics {
 		res.Scores[h], res.Elevated[h] = ScoreDetail(smoothed, falts, h, 2)
 	}
+	scoreSpan.End()
+	endScore()
+	endDetect := run.Stage("detect")
+	detectSpan := camp.Child("detect")
 	res.Detections = detect(res, spectra, smoothed, falts)
+	detectSpan.End()
+	endDetect()
 	for _, sp := range smoothed {
 		bufpool.PutFloat(sp.PmW)
 		sp.PmW = nil
 	}
-	return res
+	detectionsTotal.Add(int64(len(res.Detections)))
+	camp.End()
+	if run != nil {
+		run.Finish(manifestConfig(c), res.SimulatedSeconds, provenance(res, c))
+	}
+	return res, nil
+}
+
+// campaignConfig is the resolved campaign configuration as recorded in
+// the run manifest: every defaulted field filled in, activity kinds as
+// their names so the JSON is self-describing.
+type campaignConfig struct {
+	F1          float64 `json:"f1_hz"`
+	F2          float64 `json:"f2_hz"`
+	Fres        float64 `json:"fres_hz"`
+	FAlt1       float64 `json:"falt1_hz"`
+	FDelta      float64 `json:"fdelta_hz"`
+	NumAlts     int     `json:"num_alts"`
+	Harmonics   []int   `json:"harmonics"`
+	Averages    int     `json:"averages"`
+	MinScore    float64 `json:"min_score"`
+	SmoothBins  int     `json:"smooth_bins"`
+	MergeBins   int     `json:"merge_bins"`
+	MinElevated int     `json:"min_elevated"`
+	X           string  `json:"x"`
+	Y           string  `json:"y"`
+	Seed        int64   `json:"seed"`
+	Parallelism int     `json:"parallelism"`
+	NoPlan      bool    `json:"no_plan"`
+}
+
+// manifestConfig converts a defaults-resolved campaign into its manifest
+// record.
+func manifestConfig(c Campaign) campaignConfig {
+	return campaignConfig{
+		F1: c.F1, F2: c.F2, Fres: c.Fres,
+		FAlt1: c.FAlt1, FDelta: c.FDelta, NumAlts: c.NumAlts,
+		Harmonics: c.Harmonics, Averages: c.Averages,
+		MinScore: c.MinScore, SmoothBins: c.SmoothBins,
+		MergeBins: c.MergeBins, MinElevated: c.MinElevated,
+		X: c.X.String(), Y: c.Y.String(),
+		Seed: c.Seed, Parallelism: c.Parallelism, NoPlan: c.NoPlan,
+	}
+}
+
+// provenance builds the manifest's detection records: for each detection,
+// every harmonic's heuristic score and elevated count at the detection
+// bin — the full evidence behind "why did this fire".
+func provenance(res *Result, c Campaign) []obs.DetectionRecord {
+	recs := make([]obs.DetectionRecord, 0, len(res.Detections))
+	for _, d := range res.Detections {
+		subs := make([]obs.HarmonicScore, 0, len(c.Harmonics))
+		for _, h := range c.Harmonics {
+			subs = append(subs, obs.HarmonicScore{
+				Harmonic: h,
+				Score:    res.Scores[h][d.Bin],
+				Elevated: res.Elevated[h][d.Bin],
+			})
+		}
+		recs = append(recs, obs.DetectionRecord{
+			FreqHz: d.Freq, Score: d.Score,
+			BestHarmonic: d.BestHarmonic, Harmonics: d.Harmonics,
+			MagnitudeDBm: d.MagnitudeDBm, DepthDB: d.DepthDB,
+			SubScores: subs,
+		})
+	}
+	return recs
 }
 
 // staticStrongBins marks bins occupied by a strong line in *every*
@@ -336,6 +500,7 @@ func detect(res *Result, spectra, smoothed []*spectral.Spectrum, falts []float64
 		}
 		d := Detection{
 			Freq:         res.Grid(cd.bin),
+			Bin:          cd.bin,
 			Score:        cd.score,
 			BestHarmonic: cd.harmonic,
 			Harmonics:    []int{cd.harmonic},

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"slices"
@@ -11,6 +12,7 @@ import (
 	"fase/internal/dsp/spectral"
 	"fase/internal/emsim"
 	"fase/internal/machine"
+	"fase/internal/obs"
 )
 
 // synthSpectra builds N flat spectra with a static carrier at carrierBin
@@ -318,8 +320,40 @@ func TestCampaignDefaultsAndValidation(t *testing.T) {
 	if c2.SmoothBins != 3 {
 		t.Errorf("adaptive smooth bins = %d, want 3 for fΔ/fres = 5", c2.SmoothBins)
 	}
-	mustPanic(t, func() { Campaign{FAlt1: 0, FDelta: 1}.withDefaults() })
-	mustPanic(t, func() { Campaign{FAlt1: 1e3, FDelta: 1e3, NumAlts: 1}.withDefaults() })
+	// Misconfiguration is reported by Validate (and RunE), not by panics
+	// buried in withDefaults.
+	bad := []Campaign{
+		{FAlt1: 0, FDelta: 1, Fres: 100, F1: 0, F2: 1e5},            // no alternation frequency
+		{FAlt1: 1e3, FDelta: 1e3, NumAlts: 1, Fres: 100, F2: 1e5},   // single measurement
+		{FAlt1: 1e3, FDelta: 1e3, Fres: 0, F2: 1e5},                 // no resolution
+		{FAlt1: 1e3, FDelta: 1e3, Fres: 100, F1: 1e6, F2: 1e5},      // inverted range
+		{FAlt1: 1e3, FDelta: 1e3, Fres: 100, F1: 1e5, F2: 1e5},      // empty range
+		{FAlt1: 1e3, FDelta: 1e3, Fres: 100, F2: 1e5, MinScore: -2}, // negative threshold
+		{FAlt1: 1e3, FDelta: 1e3, Fres: 100, F2: 1e5, Averages: -1}, // negative averages
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad campaign %d validated: %+v", i, c)
+		}
+		if _, err := (&Runner{Scene: &emsim.Scene{}}).RunE(c); err == nil {
+			t.Errorf("RunE accepted bad campaign %d", i)
+		}
+	}
+	if err := (Campaign{FAlt1: 1e3, FDelta: 1e3, Fres: 100, F2: 1e5, MinScore: MinScoreZero}).Validate(); err != nil {
+		t.Errorf("MinScoreZero sentinel rejected: %v", err)
+	}
+	// The sentinel resolves to a literal zero threshold, while a zero
+	// MinScore still means "default".
+	if got := (Campaign{MinScore: MinScoreZero}).withDefaults().MinScore; got != 0 {
+		t.Errorf("MinScoreZero resolved to %g, want 0", got)
+	}
+	if got := (Campaign{}).withDefaults().MinScore; got != 30 {
+		t.Errorf("zero MinScore resolved to %g, want default 30", got)
+	}
+	// A Runner without a Scene is an error from RunE and a panic from Run.
+	if _, err := (&Runner{}).RunE(Campaign{FAlt1: 1e3, FDelta: 1e3, Fres: 100, F1: 0, F2: 1e5}); err == nil {
+		t.Error("RunE accepted a Runner without a Scene")
+	}
 	mustPanic(t, func() { (&Runner{}).Run(Campaign{FAlt1: 1e3, FDelta: 1e3, Fres: 100, F1: 0, F2: 1e5}) })
 }
 
@@ -359,6 +393,102 @@ func TestCampaignEndToEndMemoryPair(t *testing.T) {
 		if math.Abs(d.Freq-332.5e3) < 2e3 {
 			t.Error("core regulator falsely detected under LDM/LDL1")
 		}
+	}
+}
+
+// TestCampaignObservabilityEquivalence runs the same campaign bare and
+// fully instrumented (run + tracer) and requires bit-identical spectra
+// and detections — observability must watch the pipeline, never steer
+// it. It then checks the manifest the instrumented run produced: valid
+// against the schema, stage walls summing to the total, planner skips
+// non-zero for the full i7-desktop scene, and per-detection provenance.
+func TestCampaignObservabilityEquivalence(t *testing.T) {
+	sys := machine.IntelCoreI7Desktop()
+	c := Campaign{
+		F1: 0.25e6, F2: 0.55e6, Fres: 200,
+		FAlt1: 43.3e3, FDelta: 1e3,
+		X: activity.LDM, Y: activity.LDL1, Seed: 21,
+	}
+	bare, err := (&Runner{Scene: sys.Scene(21, true)}).RunE(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := obs.NewRun()
+	run.Tracer = obs.NewTracer()
+	inst, err := (&Runner{Scene: sys.Scene(21, true), Obs: run}).RunE(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Measurements) != len(bare.Measurements) {
+		t.Fatal("measurement count differs under instrumentation")
+	}
+	for i := range bare.Measurements {
+		a, b := bare.Measurements[i].Spectrum, inst.Measurements[i].Spectrum
+		for k := range a.PmW {
+			if math.Float64bits(a.PmW[k]) != math.Float64bits(b.PmW[k]) {
+				t.Fatalf("measurement %d bin %d differs under instrumentation", i, k)
+			}
+		}
+	}
+	if len(inst.Detections) != len(bare.Detections) {
+		t.Fatalf("detections differ: %d vs %d", len(inst.Detections), len(bare.Detections))
+	}
+	for i := range bare.Detections {
+		if bare.Detections[i].Freq != inst.Detections[i].Freq || bare.Detections[i].Score != inst.Detections[i].Score {
+			t.Errorf("detection %d differs under instrumentation", i)
+		}
+	}
+	m := run.Manifest()
+	if m == nil {
+		t.Fatal("instrumented run produced no manifest")
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateManifest(data); err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	names := make([]string, len(m.Stages))
+	for i, st := range m.Stages {
+		names[i] = st.Name
+	}
+	if !slices.Equal(names, []string{"sweeps", "smooth", "score", "detect"}) {
+		t.Errorf("stages %v", names)
+	}
+	if m.Planner.ComponentsSkipped == 0 || m.Planner.RenderSkips == 0 {
+		t.Errorf("planner skips must be non-zero for the i7-desktop scene: %+v", m.Planner)
+	}
+	if m.Captures == 0 || m.RenderSeconds <= 0 {
+		t.Errorf("capture accounting empty: captures=%d render=%gs", m.Captures, m.RenderSeconds)
+	}
+	if m.SimulatedAnalyzerSeconds != inst.SimulatedSeconds || inst.SimulatedSeconds <= 0 {
+		t.Errorf("simulated time %g vs result %g", m.SimulatedAnalyzerSeconds, inst.SimulatedSeconds)
+	}
+	if len(m.Detections) != len(inst.Detections) {
+		t.Fatalf("manifest has %d detections, result %d", len(m.Detections), len(inst.Detections))
+	}
+	for i, d := range m.Detections {
+		if len(d.SubScores) != len(inst.Campaign.Harmonics) {
+			t.Errorf("detection %d: %d sub-scores, want %d", i, len(d.SubScores), len(inst.Campaign.Harmonics))
+		}
+		best := d.SubScores[0].Score
+		for _, s := range d.SubScores {
+			if s.Harmonic == d.BestHarmonic {
+				best = s.Score
+			}
+		}
+		if math.Abs(best-d.Score) > 1e-9*math.Abs(d.Score) {
+			t.Errorf("detection %d: best-harmonic sub-score %g != score %g", i, best, d.Score)
+		}
+	}
+	// The tracer saw the campaign, its stages, and every sweep/capture.
+	kinds := map[string]int{}
+	for _, e := range run.Tracer.Events() {
+		kinds[e.Name]++
+	}
+	if kinds["campaign"] != 1 || kinds["sweeps"] != 1 || kinds["sweep"] != inst.Campaign.NumAlts || kinds["capture"] != int(m.Captures) {
+		t.Errorf("trace events: %v (captures=%d)", kinds, m.Captures)
 	}
 }
 

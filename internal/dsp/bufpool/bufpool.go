@@ -8,10 +8,24 @@
 // the buffer themselves) before use.
 package bufpool
 
-import "sync"
+import (
+	"sync"
+
+	"fase/internal/obs"
+)
 
 var complexPool sync.Pool // *[]complex128
 var floatPool sync.Pool   // *[]float64
+
+// Pool hit/miss counters feed the run manifest's cache statistics. A
+// "miss" is a Get that had to allocate (empty pool or undersized
+// buffer); in steady state every Get is a hit.
+var (
+	complexHits   = obs.Default.Counter(obs.MetricBufpoolComplexHits)
+	complexMisses = obs.Default.Counter(obs.MetricBufpoolComplexMisses)
+	floatHits     = obs.Default.Counter(obs.MetricBufpoolFloatHits)
+	floatMisses   = obs.Default.Counter(obs.MetricBufpoolFloatMisses)
+)
 
 // Complex returns a dirty []complex128 of length n from the pool,
 // allocating only when no pooled buffer is large enough.
@@ -19,9 +33,11 @@ func Complex(n int) []complex128 {
 	if v := complexPool.Get(); v != nil {
 		b := *(v.(*[]complex128))
 		if cap(b) >= n {
+			complexHits.Inc()
 			return b[:n]
 		}
 	}
+	complexMisses.Inc()
 	return make([]complex128, n)
 }
 
@@ -40,9 +56,11 @@ func Float(n int) []float64 {
 	if v := floatPool.Get(); v != nil {
 		b := *(v.(*[]float64))
 		if cap(b) >= n {
+			floatHits.Inc()
 			return b[:n]
 		}
 	}
+	floatMisses.Inc()
 	return make([]float64, n)
 }
 

@@ -20,6 +20,8 @@ import (
 	"math/bits"
 	"math/cmplx"
 	"sync"
+
+	"fase/internal/obs"
 )
 
 // Plan holds precomputed twiddle factors for transforms of a fixed size.
@@ -42,14 +44,24 @@ type Plan struct {
 // planCache backs PlanFor: transform length -> *Plan.
 var planCache sync.Map
 
+// Plan-cache hit/miss counters feed the run manifest's cache statistics.
+// Concurrent first uses of one length may each count a miss; the cache
+// keeps a single plan regardless.
+var (
+	planHits   = obs.Default.Counter(obs.MetricFFTPlanHits)
+	planMisses = obs.Default.Counter(obs.MetricFFTPlanMisses)
+)
+
 // PlanFor returns a process-wide shared plan for length n, creating and
 // caching it on first use. Because plans are immutable after construction
 // (Bluestein scratch is pooled per call), the returned plan is safe for
 // concurrent use from any number of goroutines.
 func PlanFor(n int) *Plan {
 	if v, ok := planCache.Load(n); ok {
+		planHits.Inc()
 		return v.(*Plan)
 	}
+	planMisses.Inc()
 	v, _ := planCache.LoadOrStore(n, NewPlan(n))
 	return v.(*Plan)
 }

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"fase/internal/obs"
 )
 
 // Type enumerates the supported window functions.
@@ -130,6 +132,13 @@ type tableKey struct {
 // tableCache backs For: (type, length) -> *Precomputed.
 var tableCache sync.Map
 
+// Table-cache hit/miss counters feed the run manifest's cache
+// statistics.
+var (
+	tableHits   = obs.Default.Counter(obs.MetricWindowHits)
+	tableMisses = obs.Default.Counter(obs.MetricWindowMisses)
+)
+
 // For returns the cached window table for (t, n), computing and caching it
 // on first use. The returned table is shared between callers and safe for
 // concurrent reads; it must not be modified. Rendering pipelines use this
@@ -138,8 +147,10 @@ var tableCache sync.Map
 func For(t Type, n int) *Precomputed {
 	key := tableKey{t: t, n: n}
 	if v, ok := tableCache.Load(key); ok {
+		tableHits.Inc()
 		return v.(*Precomputed)
 	}
+	tableMisses.Inc()
 	w := New(t, n)
 	pc := &Precomputed{Type: t, N: n, W: w, CoherentGain: CoherentGain(w), NENBW: NENBW(w)}
 	v, _ := tableCache.LoadOrStore(key, pc)

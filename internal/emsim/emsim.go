@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"fase/internal/activity"
+	"fase/internal/obs"
 )
 
 // Band is the frequency window of one capture.
@@ -162,6 +163,13 @@ var scratchPool = sync.Pool{New: func() any {
 	}
 }}
 
+// Render counters: captures rendered and components the active plan let a
+// capture skip — the planner's realized savings, per capture.
+var (
+	capturesRendered = obs.Default.Counter(obs.MetricRenderCaptures)
+	renderSkips      = obs.Default.Counter(obs.MetricRenderComponentSkips)
+)
+
 // Render produces the complex-baseband samples for a capture.
 func (s *Scene) Render(cap Capture) []complex128 {
 	dst := make([]complex128, cap.N)
@@ -201,7 +209,9 @@ func (s *Scene) RenderInto(dst []complex128, cap Capture) {
 	plan := cap.Plan
 	if plan != nil {
 		plan.check(cap, len(s.Components))
+		renderSkips.Add(int64(plan.ncomp - plan.nactive))
 	}
+	capturesRendered.Inc()
 	for i, c := range s.Components {
 		// Each component draws from its own child stream (same derivation
 		// as seeding a fresh generator with root.Int63()). The draw happens

@@ -1,6 +1,10 @@
 package emsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"fase/internal/obs"
+)
 
 // Span is a closed frequency interval [Lo, Hi] in Hz. A spectral line is a
 // degenerate span with Lo == Hi.
@@ -85,12 +89,22 @@ type Prepper interface {
 // is safe to share between concurrent RenderInto calls; sweeps reuse one
 // plan across all averages and alternation frequencies of a segment.
 type RenderPlan struct {
-	band   Band
-	n      int
-	ncomp  int
-	active []bool
-	prep   []any
+	band    Band
+	n       int
+	ncomp   int
+	nactive int
+	active  []bool
+	prep    []any
 }
+
+// Planner counters: how many plans were built and, across all of them,
+// how many component/band tests kept vs culled the component. RenderInto
+// separately counts the skips actually realized per capture.
+var (
+	plansBuilt  = obs.Default.Counter(obs.MetricPlansBuilt)
+	planActive  = obs.Default.Counter(obs.MetricPlanComponentsActive)
+	planSkipped = obs.Default.Counter(obs.MetricPlanComponentsSkip)
+)
 
 // Plan computes the render plan for captures of n samples in the given
 // band: every component's extent is tested against the band once, and
@@ -115,10 +129,14 @@ func (s *Scene) Plan(band Band, n int) *RenderPlan {
 		if !act {
 			continue
 		}
+		p.nactive++
 		if pp, ok := c.(Prepper); ok {
 			p.prep[i] = pp.Prepare(band, n)
 		}
 	}
+	plansBuilt.Inc()
+	planActive.Add(int64(p.nactive))
+	planSkipped.Add(int64(p.ncomp - p.nactive))
 	return p
 }
 
@@ -126,15 +144,7 @@ func (s *Scene) Plan(band Band, n int) *RenderPlan {
 func (p *RenderPlan) Active(i int) bool { return p.active[i] }
 
 // ActiveCount returns how many of the scene's components the plan renders.
-func (p *RenderPlan) ActiveCount() int {
-	n := 0
-	for _, a := range p.active {
-		if a {
-			n++
-		}
-	}
-	return n
-}
+func (p *RenderPlan) ActiveCount() int { return p.nactive }
 
 // check panics if the plan was computed for a different capture geometry
 // or component list than the one being rendered.

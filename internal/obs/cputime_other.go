@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// processCPUSeconds has no portable implementation off unix; stage CPU
+// timings read as zero there.
+func processCPUSeconds() float64 { return 0 }

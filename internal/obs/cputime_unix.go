@@ -1,0 +1,16 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// processCPUSeconds returns the process's cumulative user+system CPU
+// time, for the manifest's per-stage CPU attribution.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Utime.Sec) + float64(ru.Utime.Usec)/1e6 +
+		float64(ru.Stime.Sec) + float64(ru.Stime.Usec)/1e6
+}

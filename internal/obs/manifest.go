@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// ManifestSchema identifies the manifest layout; bump it when the JSON
+// shape changes incompatibly.
+const ManifestSchema = "fase-run-manifest/1"
+
+// Manifest is the per-run record a campaign writes: what was asked for
+// (resolved config), where the time went (stages, render vs FFT), what
+// the planner and caches did, and the full provenance behind every
+// detection. See DESIGN.md "Observability" for the schema description.
+type Manifest struct {
+	Schema      string `json:"schema"`
+	CreatedUnix int64  `json:"created_unix"`
+	// Config is the fully resolved campaign configuration (defaults
+	// applied), as the instrumented package recorded it.
+	Config any           `json:"config"`
+	Stages []StageTiming `json:"stages"`
+	// TotalWallSeconds spans Run creation to Finish; the stage walls are
+	// sequential sub-intervals, so they sum to ≈ this.
+	TotalWallSeconds float64 `json:"total_wall_seconds"`
+	TotalCPUSeconds  float64 `json:"total_cpu_seconds"`
+	// SimulatedAnalyzerSeconds is the observation time the modeled
+	// spectrum analyzer would have spent (Analyzer.TotalDuration summed
+	// over the campaign's sweeps) — the paper's "scan time".
+	SimulatedAnalyzerSeconds float64 `json:"simulated_analyzer_seconds"`
+	// Captures, RenderSeconds, FFTSeconds break down the measurement
+	// work: capture count and the render vs window+FFT+calibrate split.
+	Captures      int64                 `json:"captures"`
+	RenderSeconds float64               `json:"render_seconds"`
+	FFTSeconds    float64               `json:"fft_seconds"`
+	Planner       PlannerStats          `json:"planner"`
+	Caches        map[string]CacheStats `json:"caches"`
+	Detections    []DetectionRecord     `json:"detections"`
+}
+
+// StageTiming is one sequential pipeline stage's cost.
+type StageTiming struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+}
+
+// SegmentPlan records one segment's render-plan decision.
+type SegmentPlan struct {
+	CenterHz   float64 `json:"center_hz"`
+	SampleRate float64 `json:"sample_rate"`
+	Samples    int     `json:"samples"`
+	Active     int     `json:"active"`
+	Skipped    int     `json:"skipped"`
+}
+
+// PlannerStats aggregates the render planner's work during the run.
+type PlannerStats struct {
+	PlansBuilt int64 `json:"plans_built"`
+	// CacheHits/CacheMisses are the analyzer's plan-cache behaviour.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// ComponentsActive/Skipped count component decisions at plan time.
+	ComponentsActive  int64 `json:"components_active"`
+	ComponentsSkipped int64 `json:"components_skipped"`
+	// RenderSkips counts components not rendered across all captures —
+	// the planner's actual savings.
+	RenderSkips int64         `json:"render_component_skips"`
+	Segments    []SegmentPlan `json:"segments"`
+}
+
+// CacheStats is one cache's hit/miss record during the run.
+type CacheStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// DetectionRecord is the provenance of one reported carrier: the
+// detection itself plus every harmonic's sub-score and elevated count at
+// the detection bin, so "why did this fire" needs no re-run.
+type DetectionRecord struct {
+	FreqHz       float64         `json:"freq_hz"`
+	Score        float64         `json:"score"`
+	BestHarmonic int             `json:"best_harmonic"`
+	Harmonics    []int           `json:"harmonics"`
+	MagnitudeDBm float64         `json:"magnitude_dbm"`
+	DepthDB      float64         `json:"depth_db"`
+	SubScores    []HarmonicScore `json:"sub_scores"`
+}
+
+// HarmonicScore is one harmonic's evidence at a detection.
+type HarmonicScore struct {
+	Harmonic int     `json:"harmonic"`
+	Score    float64 `json:"score"`
+	Elevated int     `json:"elevated"`
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadManifest parses a manifest from JSON without validating it; use
+// ValidateManifest for schema checks.
+func ReadManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: parse manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// ValidateManifest checks a serialized manifest against the schema:
+// required fields present and well-typed, timings non-negative, stage
+// walls summing to within 10% of the total wall time (they are
+// sequential sub-intervals of it), and every detection carrying
+// sub-score provenance. It returns the first violation found.
+func ValidateManifest(data []byte) error {
+	m, err := ReadManifest(data)
+	if err != nil {
+		return err
+	}
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("obs: manifest schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.CreatedUnix <= 0 {
+		return fmt.Errorf("obs: manifest missing created_unix")
+	}
+	if m.Config == nil {
+		return fmt.Errorf("obs: manifest missing config")
+	}
+	if len(m.Stages) == 0 {
+		return fmt.Errorf("obs: manifest has no stages")
+	}
+	var stageSum float64
+	for _, st := range m.Stages {
+		if st.Name == "" {
+			return fmt.Errorf("obs: manifest stage with empty name")
+		}
+		if st.WallSeconds < 0 || st.CPUSeconds < 0 {
+			return fmt.Errorf("obs: stage %q has negative timing", st.Name)
+		}
+		stageSum += st.WallSeconds
+	}
+	if m.TotalWallSeconds <= 0 {
+		return fmt.Errorf("obs: total_wall_seconds %g must be positive", m.TotalWallSeconds)
+	}
+	if math.Abs(stageSum-m.TotalWallSeconds) > 0.1*m.TotalWallSeconds {
+		return fmt.Errorf("obs: stage walls sum to %.4fs, more than 10%% off total %.4fs",
+			stageSum, m.TotalWallSeconds)
+	}
+	if m.Captures <= 0 {
+		return fmt.Errorf("obs: manifest records no captures")
+	}
+	if m.RenderSeconds < 0 || m.FFTSeconds < 0 {
+		return fmt.Errorf("obs: negative render/fft seconds")
+	}
+	p := m.Planner
+	for name, v := range map[string]int64{
+		"plans_built": p.PlansBuilt, "cache_hits": p.CacheHits, "cache_misses": p.CacheMisses,
+		"components_active": p.ComponentsActive, "components_skipped": p.ComponentsSkipped,
+		"render_component_skips": p.RenderSkips,
+	} {
+		if v < 0 {
+			return fmt.Errorf("obs: planner.%s is negative", name)
+		}
+	}
+	for _, seg := range p.Segments {
+		if seg.Samples <= 0 || seg.SampleRate <= 0 || seg.Active < 0 || seg.Skipped < 0 {
+			return fmt.Errorf("obs: malformed planner segment %+v", seg)
+		}
+	}
+	if m.Caches == nil {
+		return fmt.Errorf("obs: manifest missing caches")
+	}
+	for _, name := range []string{"fft_plan", "window", "bufpool_complex", "bufpool_float", "specan_plan"} {
+		c, ok := m.Caches[name]
+		if !ok {
+			return fmt.Errorf("obs: manifest missing cache %q", name)
+		}
+		if c.Hits < 0 || c.Misses < 0 || c.HitRate < 0 || c.HitRate > 1 {
+			return fmt.Errorf("obs: cache %q has malformed stats %+v", name, c)
+		}
+	}
+	for i, d := range m.Detections {
+		if d.FreqHz < 0 {
+			return fmt.Errorf("obs: detection %d has negative frequency", i)
+		}
+		if d.BestHarmonic == 0 {
+			return fmt.Errorf("obs: detection %d missing best_harmonic", i)
+		}
+		if len(d.SubScores) == 0 {
+			return fmt.Errorf("obs: detection %d has no sub-score provenance", i)
+		}
+		for _, s := range d.SubScores {
+			if s.Harmonic == 0 || s.Elevated < 0 {
+				return fmt.Errorf("obs: detection %d has malformed sub-score %+v", i, s)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateManifestFile reads and validates a manifest file.
+func ValidateManifestFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return ValidateManifest(data)
+}

@@ -1,0 +1,319 @@
+// Package obs is the zero-dependency observability layer of the FASE
+// pipeline: a process-wide metrics registry (counters, gauges,
+// fixed-bucket histograms — all atomic), span-based stage tracing that
+// emits Chrome trace_event JSON, per-run manifests recording where a
+// campaign's time went and why each detection fired, and a debug HTTP
+// server exposing net/http/pprof plus a metrics snapshot.
+//
+// Everything is stdlib-only and safe under the rendering worker pools.
+// Every hook is a nil-safe no-op: a nil *Run, nil *Tracer, or zero Span
+// does nothing and allocates nothing, so the instrumented hot path stays
+// allocation-free and bit-identical when observability is off (enforced
+// by the planner equivalence tests, which run with it on).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Canonical metric names instrumented across the pipeline. The packages
+// that own each site register these against Default at init, and
+// Run.Finish reads their deltas into the manifest's cache and planner
+// statistics. See DESIGN.md "Observability" for the full catalogue.
+const (
+	MetricFFTPlanHits          = "fase_fft_plan_cache_hits_total"
+	MetricFFTPlanMisses        = "fase_fft_plan_cache_misses_total"
+	MetricWindowHits           = "fase_window_cache_hits_total"
+	MetricWindowMisses         = "fase_window_cache_misses_total"
+	MetricBufpoolComplexHits   = "fase_bufpool_complex_hits_total"
+	MetricBufpoolComplexMisses = "fase_bufpool_complex_misses_total"
+	MetricBufpoolFloatHits     = "fase_bufpool_float_hits_total"
+	MetricBufpoolFloatMisses   = "fase_bufpool_float_misses_total"
+	MetricPlansBuilt           = "fase_emsim_plans_built_total"
+	MetricPlanComponentsActive = "fase_emsim_plan_components_active_total"
+	MetricPlanComponentsSkip   = "fase_emsim_plan_components_skipped_total"
+	MetricRenderCaptures       = "fase_emsim_captures_rendered_total"
+	MetricRenderComponentSkips = "fase_emsim_render_component_skips_total"
+	MetricSweeps               = "fase_specan_sweeps_total"
+	MetricSpecanCaptures       = "fase_specan_captures_total"
+	MetricSpecanPlanHits       = "fase_specan_plan_cache_hits_total"
+	MetricSpecanPlanMisses     = "fase_specan_plan_cache_misses_total"
+	MetricCampaigns            = "fase_core_campaigns_total"
+	MetricDetections           = "fase_core_detections_total"
+	MetricRenderSeconds        = "fase_specan_render_seconds"
+	MetricFFTSeconds           = "fase_specan_fft_seconds"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; all methods are nil-safe no-ops.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable float64. The zero value is ready to
+// use; all methods are nil-safe no-ops.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// FloatAdder accumulates float64 values atomically (CAS loop), for
+// summing durations from concurrent workers without a lock.
+type FloatAdder struct{ bits atomic.Uint64 }
+
+// Add accumulates v.
+func (f *FloatAdder) Add(v float64) {
+	if f == nil {
+		return
+	}
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated sum.
+func (f *FloatAdder) Value() float64 {
+	if f == nil {
+		return 0
+	}
+	return math.Float64frombits(f.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// values v <= Bounds[i]; one overflow bucket catches the rest. Observe is
+// atomic and allocation-free, so histograms are safe in the render hot
+// path.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    FloatAdder
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Bounds: h.bounds, Counts: make([]int64, len(h.counts)), Sum: h.sum.Value()}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start and multiplying by factor — the shape duration histograms use.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: invalid bucket spec start=%g factor=%g n=%d", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Registry is a named collection of metrics. Lookups take a mutex (they
+// happen at package init or setup time); the returned metrics are then
+// lock-free. The zero registry is not usable — use NewRegistry or the
+// process-wide Default.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Default is the process-wide registry every instrumented package
+// registers against.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns nil (whose methods are no-ops).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls keep the original bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, the
+// expvar-style view served at /metrics and embedded in manifests.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values. A nil registry yields a
+// zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Sub returns the delta s - prev: counters and histogram counts/sums
+// subtract, gauges keep their end value. Used to attribute process-wide
+// metric movement to one run.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, h := range s.Histograms {
+		p, ok := prev.Histograms[name]
+		if !ok || len(p.Counts) != len(h.Counts) {
+			out.Histograms[name] = h
+			continue
+		}
+		d := HistogramSnapshot{Bounds: h.Bounds, Counts: make([]int64, len(h.Counts)), Sum: h.Sum - p.Sum}
+		for i := range h.Counts {
+			d.Counts[i] = h.Counts[i] - p.Counts[i]
+			d.Count += d.Counts[i]
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
+// WriteJSON writes the registry's snapshot as indented JSON (keys
+// sorted, so output is stable).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

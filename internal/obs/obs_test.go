@@ -1,0 +1,458 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var f *FloatAdder
+	f.Add(1.5)
+	if f.Value() != 0 {
+		t.Error("nil adder has a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Error("nil registry returned non-nil metrics")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestNilRunAndTracerAreNoOps(t *testing.T) {
+	var run *Run
+	run.Stage("x")()
+	run.RecordPlan(1, 2, 3, 4, 5)
+	if run.Stages() != nil || run.Manifest() != nil || run.Finish(nil, 0, nil) != nil {
+		t.Error("nil run returned data")
+	}
+	var tr *Tracer
+	sp := tr.Begin("root")
+	if sp.Active() {
+		t.Error("nil tracer produced an active span")
+	}
+	sp.Child("c").End()
+	sp.Fork("f").End()
+	sp.Mark("m", time.Now(), time.Second)
+	sp.End()
+	if tr.Events() != nil {
+		t.Error("nil tracer recorded events")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	// v <= bound goes in that bucket: {0.5, 1}, {5}, {50}, overflow {500, 5000}.
+	want := []int64{2, 1, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count %d, want 6", s.Count)
+	}
+	if s.Sum != 0.5+1+5+50+500+5000 {
+		t.Errorf("sum %g", s.Sum)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-5, 4, 3)
+	want := []float64{1e-5, 4e-5, 16e-5}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 3) },
+		func() { ExpBuckets(1, 1, 3) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid bucket spec did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestRegistrySnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 10})
+	c.Add(3)
+	g.Set(1.5)
+	h.Observe(0.5)
+	before := r.Snapshot()
+	c.Add(4)
+	g.Set(2.5)
+	h.Observe(20)
+	delta := r.Snapshot().Sub(before)
+	if delta.Counters["c"] != 4 {
+		t.Errorf("counter delta %d, want 4", delta.Counters["c"])
+	}
+	if delta.Gauges["g"] != 2.5 {
+		t.Errorf("gauge in delta keeps end value: %g", delta.Gauges["g"])
+	}
+	hd := delta.Histograms["h"]
+	if hd.Count != 1 || hd.Counts[2] != 1 || hd.Sum != 20 {
+		t.Errorf("histogram delta %+v", hd)
+	}
+	// Same-name lookups return the same metric.
+	if r.Counter("c") != c || r.Gauge("g") != g || r.Histogram("h", nil) != h {
+		t.Error("registry lookup is not idempotent")
+	}
+}
+
+func TestRegistryWriteJSONStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Add(1)
+	r.Counter("a").Add(2)
+	var b1, b2 bytes.Buffer
+	if err := r.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("WriteJSON output unstable")
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &s); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v", err)
+	}
+	if s.Counters["a"] != 2 || s.Counters["z"] != 1 {
+		t.Errorf("snapshot round trip: %+v", s)
+	}
+}
+
+// TestConcurrentExactTotals hammers the registry's metrics and a run's
+// per-capture accumulators from Parallelism-many goroutines and asserts
+// exact totals — the invariant the worker pools rely on (run under -race
+// by make race).
+func TestConcurrentExactTotals(t *testing.T) {
+	const perG = 2000
+	workers := runtime.GOMAXPROCS(0) * 2
+	r := NewRegistry()
+	c := r.Counter("hammer")
+	g := r.Gauge("level")
+	h := r.Histogram("lat", ExpBuckets(1, 2, 8))
+	run := NewRun()
+	run.Tracer = NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			root := run.Tracer.Begin(fmt.Sprintf("worker-%d", w))
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Set(float64(w))
+				h.Observe(float64(i % 300))
+				run.Captures.Inc()
+				run.RenderSeconds.Add(0.001)
+			}
+			run.RecordPlan(float64(w), 1e6, 1024, 3, 2)
+			root.End()
+		}(w)
+	}
+	wg.Wait()
+	total := int64(workers * perG)
+	if got := c.Value(); got != total {
+		t.Errorf("counter %d, want %d", got, total)
+	}
+	if got := h.snapshot().Count; got != total {
+		t.Errorf("histogram count %d, want %d", got, total)
+	}
+	if got := run.Captures.Value(); got != total {
+		t.Errorf("run captures %d, want %d", got, total)
+	}
+	want := 0.001 * float64(total)
+	if got := run.RenderSeconds.Value(); got < want*(1-1e-9) || got > want*(1+1e-9) {
+		t.Errorf("render seconds %g, want %g", got, want)
+	}
+	if got := len(run.Tracer.Events()); got != workers {
+		t.Errorf("%d trace events, want %d", got, workers)
+	}
+}
+
+// TestChromeTraceStructure asserts the trace output is structurally valid
+// trace_event JSON: complete events with non-negative timings, lanes as
+// tids, and parent links resolving to recorded span ids.
+func TestChromeTraceStructure(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Begin("campaign")
+	stage := root.Child("sweeps")
+	fork := stage.Fork("sweep")
+	fork.Mark("render", time.Now(), time.Millisecond)
+	fork.End()
+	stage.End()
+	root.End()
+
+	if root.Active() != true {
+		t.Error("live span should be active")
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("%d events, want 4", len(out.TraceEvents))
+	}
+	ids := map[float64]string{}
+	for _, e := range out.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %q has ph %q, want X", e.Name, e.Ph)
+		}
+		if e.Ts < 0 || e.Dur < 0 {
+			t.Errorf("event %q has negative timing ts=%g dur=%g", e.Name, e.Ts, e.Dur)
+		}
+		if e.Cat != "fase" {
+			t.Errorf("event %q has cat %q", e.Name, e.Cat)
+		}
+		id, ok := e.Args["id"].(float64)
+		if !ok || id <= 0 {
+			t.Fatalf("event %q has no id: %+v", e.Name, e.Args)
+		}
+		ids[id] = e.Name
+	}
+	byName := map[string]map[string]any{}
+	for _, e := range out.TraceEvents {
+		byName[e.Name] = e.Args
+	}
+	// campaign is a root; sweeps is its child; sweep forks from sweeps;
+	// render marks inside sweep.
+	if p := byName["campaign"]["parent"].(float64); p != 0 {
+		t.Errorf("campaign parent %g, want 0", p)
+	}
+	for child, parent := range map[string]string{
+		"sweeps": "campaign", "sweep": "sweeps", "render": "sweep",
+	} {
+		pid := byName[child]["parent"].(float64)
+		if ids[pid] != parent {
+			t.Errorf("%s's parent id %g resolves to %q, want %q", child, pid, ids[pid], parent)
+		}
+	}
+}
+
+// TestTracerLanePooling checks sequential root spans reuse lanes, so a
+// long campaign's trace keeps a bounded lane (thread) count.
+func TestTracerLanePooling(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 10; i++ {
+		s := tr.Begin("s")
+		s.End()
+	}
+	lanes := map[int64]bool{}
+	for _, e := range tr.Events() {
+		lanes[e.Lane] = true
+	}
+	if len(lanes) != 1 {
+		t.Errorf("sequential spans used %d lanes, want 1", len(lanes))
+	}
+}
+
+func TestRunStagesAndManifest(t *testing.T) {
+	run := NewRun()
+	end := run.Stage("sweeps")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	run.Stage("detect")()
+	run.Captures.Add(8)
+	run.RecordPlan(400e3, 409600, 2048, 9, 20)
+	m := run.Finish(map[string]any{"fres_hz": 100.0}, 1.5, []DetectionRecord{{
+		FreqHz: 315e3, Score: 100, BestHarmonic: 1,
+		SubScores: []HarmonicScore{{Harmonic: 1, Score: 100, Elevated: 5}},
+	}})
+	if m == nil || run.Manifest() != m {
+		t.Fatal("Finish did not produce the run's manifest")
+	}
+	if m2 := run.Finish(nil, 0, nil); m2 != m {
+		t.Error("second Finish must return the first manifest")
+	}
+	if len(m.Stages) != 2 || m.Stages[0].Name != "sweeps" || m.Stages[0].WallSeconds <= 0 {
+		t.Errorf("stages: %+v", m.Stages)
+	}
+	if m.SimulatedAnalyzerSeconds != 1.5 || m.Captures != 8 {
+		t.Errorf("manifest totals: %+v", m)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateManifest(data); err != nil {
+		t.Errorf("finished manifest fails validation: %v", err)
+	}
+}
+
+func TestFinishSanitizesNonFinite(t *testing.T) {
+	run := NewRun()
+	run.Stage("s")()
+	run.Captures.Inc()
+	inf := func() float64 { var z float64; return -1 / z }()
+	m := run.Finish("cfg", 0, []DetectionRecord{{
+		FreqHz: 1e3, Score: 10, BestHarmonic: -1, DepthDB: inf, MagnitudeDBm: inf,
+		SubScores: []HarmonicScore{{Harmonic: -1, Score: -inf, Elevated: 1}},
+	}})
+	if _, err := json.Marshal(m); err != nil {
+		t.Fatalf("manifest with sanitized floats still unmarshalable: %v", err)
+	}
+	if m.Detections[0].DepthDB != -999 || m.Detections[0].MagnitudeDBm != -999 {
+		t.Errorf("-Inf not clamped: %+v", m.Detections[0])
+	}
+}
+
+func TestValidateManifestRejects(t *testing.T) {
+	base := func() *Manifest {
+		run := NewRun()
+		end := run.Stage("sweeps")
+		// Let the stage dominate the run's wall time so the 10% stage-sum
+		// check has a meaningful denominator.
+		time.Sleep(5 * time.Millisecond)
+		end()
+		run.Captures.Inc()
+		return run.Finish("cfg", 0, nil)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"wrong schema", func(m *Manifest) { m.Schema = "bogus/9" }},
+		{"no created", func(m *Manifest) { m.CreatedUnix = 0 }},
+		{"no config", func(m *Manifest) { m.Config = nil }},
+		{"no stages", func(m *Manifest) { m.Stages = nil }},
+		{"negative stage", func(m *Manifest) { m.Stages[0].WallSeconds = -1 }},
+		{"stage sum off", func(m *Manifest) { m.TotalWallSeconds = m.TotalWallSeconds*10 + 1 }},
+		{"no captures", func(m *Manifest) { m.Captures = 0 }},
+		{"missing cache", func(m *Manifest) { delete(m.Caches, "window") }},
+		{"bad hit rate", func(m *Manifest) { m.Caches["window"] = CacheStats{HitRate: 2} }},
+		{"negative planner", func(m *Manifest) { m.Planner.PlansBuilt = -1 }},
+		{"detection without provenance", func(m *Manifest) {
+			m.Detections = []DetectionRecord{{FreqHz: 1, BestHarmonic: 1}}
+		}},
+		{"detection without harmonic", func(m *Manifest) {
+			m.Detections = []DetectionRecord{{FreqHz: 1, SubScores: []HarmonicScore{{Harmonic: 1}}}}
+		}},
+	}
+	for _, tc := range cases {
+		m := base()
+		tc.mutate(m)
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := ValidateManifest(data); err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+	// The unmutated base must validate.
+	data, _ := json.Marshal(base())
+	if err := ValidateManifest(data); err != nil {
+		t.Fatalf("base manifest invalid: %v", err)
+	}
+	if err := ValidateManifest([]byte("{")); err == nil {
+		t.Error("malformed JSON validated")
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fase_test_total").Add(7)
+	ds, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + ds.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "fase_test_total") {
+		t.Errorf("/metrics missing counter: %s", body)
+	}
+	if body := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: %q", body)
+	}
+	if body := get("/debug/pprof/goroutine?debug=1"); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/goroutine not served")
+	}
+	if (*DebugServer)(nil).Close() != nil {
+		t.Error("nil server Close must be a no-op")
+	}
+}
+
+func TestProcessCPUSeconds(t *testing.T) {
+	c0 := processCPUSeconds()
+	if c0 < 0 {
+		t.Fatalf("negative CPU time %g", c0)
+	}
+	// Burn a little CPU; the reading must not decrease.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	if c1 := processCPUSeconds(); c1 < c0 {
+		t.Errorf("CPU time went backwards: %g -> %g", c0, c1)
+	}
+}

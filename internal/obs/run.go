@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Run collects one campaign's observability: stage wall/CPU timings,
+// per-segment planner decisions, capture counts and render/FFT time from
+// the analyzer's workers, and (optionally) a Tracer. Finish folds it all,
+// plus the Default registry's deltas, into a Manifest.
+//
+// All methods are nil-safe no-ops on a nil *Run, so instrumented code
+// threads a *Run unconditionally and pays only a nil check when
+// observability is off.
+//
+// Cache and planner statistics come from process-wide counters, so they
+// are only attributable to this run when no other campaign runs
+// concurrently in the process (true for the CLI; tests that assert on
+// them run their campaigns alone).
+type Run struct {
+	// Tracer, when non-nil, records spans alongside the timings.
+	Tracer *Tracer
+
+	// Captures counts analyzer captures rendered under this run.
+	Captures Counter
+	// RenderSeconds and FFTSeconds accumulate the two halves of each
+	// capture: scene rendering vs window+FFT+calibration.
+	RenderSeconds FloatAdder
+	FFTSeconds    FloatAdder
+	// PlanCacheHits/Misses count the analyzer's per-segment render-plan
+	// cache behaviour for this run.
+	PlanCacheHits   Counter
+	PlanCacheMisses Counter
+
+	start     time.Time
+	startCPU  float64
+	startSnap Snapshot
+
+	mu       sync.Mutex
+	stages   []StageTiming
+	segments []SegmentPlan
+	manifest *Manifest
+}
+
+// NewRun starts a run clock and snapshots the Default registry so Finish
+// can attribute metric deltas to this run.
+func NewRun() *Run {
+	return &Run{start: time.Now(), startCPU: processCPUSeconds(), startSnap: Default.Snapshot()}
+}
+
+var nopStageEnd = func() {}
+
+// Stage starts timing a named pipeline stage and returns the function
+// that ends it. Stages are expected to be sequential at the campaign
+// level, so their wall times sum to ≈ the run's total and their CPU
+// times are read as process-CPU deltas.
+func (r *Run) Stage(name string) func() {
+	if r == nil {
+		return nopStageEnd
+	}
+	t0, c0 := time.Now(), processCPUSeconds()
+	return func() {
+		st := StageTiming{Name: name, WallSeconds: time.Since(t0).Seconds(),
+			CPUSeconds: processCPUSeconds() - c0}
+		r.mu.Lock()
+		r.stages = append(r.stages, st)
+		r.mu.Unlock()
+	}
+}
+
+// RecordPlan records one segment's render-plan decision: how many scene
+// components stayed active vs were culled for the segment's band.
+func (r *Run) RecordPlan(centerHz, sampleRate float64, samples, active, skipped int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.segments = append(r.segments, SegmentPlan{CenterHz: centerHz, SampleRate: sampleRate,
+		Samples: samples, Active: active, Skipped: skipped})
+	r.mu.Unlock()
+}
+
+// Stages returns a copy of the stage timings recorded so far.
+func (r *Run) Stages() []StageTiming {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]StageTiming, len(r.stages))
+	copy(out, r.stages)
+	return out
+}
+
+// Finish assembles the run's manifest: resolved config (any
+// JSON-marshalable value), the simulated spectrum-analyzer observation
+// time, and the detection provenance records. The first call wins;
+// subsequent calls return the existing manifest unchanged.
+func (r *Run) Finish(config any, simulatedSeconds float64, detections []DetectionRecord) *Manifest {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.manifest != nil {
+		return r.manifest
+	}
+	delta := Default.Snapshot().Sub(r.startSnap)
+	m := &Manifest{
+		Schema:                   ManifestSchema,
+		CreatedUnix:              time.Now().Unix(),
+		Config:                   config,
+		Stages:                   append([]StageTiming(nil), r.stages...),
+		TotalWallSeconds:         time.Since(r.start).Seconds(),
+		TotalCPUSeconds:          processCPUSeconds() - r.startCPU,
+		SimulatedAnalyzerSeconds: simulatedSeconds,
+		Captures:                 r.Captures.Value(),
+		RenderSeconds:            r.RenderSeconds.Value(),
+		FFTSeconds:               r.FFTSeconds.Value(),
+		Planner: PlannerStats{
+			PlansBuilt:        delta.Counters[MetricPlansBuilt],
+			CacheHits:         r.PlanCacheHits.Value(),
+			CacheMisses:       r.PlanCacheMisses.Value(),
+			ComponentsActive:  delta.Counters[MetricPlanComponentsActive],
+			ComponentsSkipped: delta.Counters[MetricPlanComponentsSkip],
+			RenderSkips:       delta.Counters[MetricRenderComponentSkips],
+			Segments:          append([]SegmentPlan(nil), r.segments...),
+		},
+		Caches: map[string]CacheStats{
+			"fft_plan":        cacheStats(delta, MetricFFTPlanHits, MetricFFTPlanMisses),
+			"window":          cacheStats(delta, MetricWindowHits, MetricWindowMisses),
+			"bufpool_complex": cacheStats(delta, MetricBufpoolComplexHits, MetricBufpoolComplexMisses),
+			"bufpool_float":   cacheStats(delta, MetricBufpoolFloatHits, MetricBufpoolFloatMisses),
+			"specan_plan":     cacheStats(delta, MetricSpecanPlanHits, MetricSpecanPlanMisses),
+		},
+		Detections: sanitizeDetections(detections),
+	}
+	r.manifest = m
+	return m
+}
+
+// Manifest returns the manifest built by Finish, or nil before Finish
+// (or on a nil run).
+func (r *Run) Manifest() *Manifest {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.manifest
+}
+
+func cacheStats(delta Snapshot, hitKey, missKey string) CacheStats {
+	s := CacheStats{Hits: delta.Counters[hitKey], Misses: delta.Counters[missKey]}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}
+
+// sanitizeDetections clamps non-finite floats (e.g. the -Inf depth of a
+// detection with no measurable side-band) to JSON-representable values.
+func sanitizeDetections(in []DetectionRecord) []DetectionRecord {
+	out := make([]DetectionRecord, len(in))
+	for i, d := range in {
+		d.FreqHz = finiteOr(d.FreqHz, 0)
+		d.Score = finiteOr(d.Score, math.MaxFloat64)
+		d.MagnitudeDBm = finiteOr(d.MagnitudeDBm, -999)
+		d.DepthDB = finiteOr(d.DepthDB, -999)
+		subs := make([]HarmonicScore, len(d.SubScores))
+		for j, s := range d.SubScores {
+			s.Score = finiteOr(s.Score, math.MaxFloat64)
+			subs[j] = s
+		}
+		d.SubScores = subs
+		out[i] = d
+	}
+	return out
+}
+
+func finiteOr(v, repl float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		if math.IsInf(v, -1) && repl > 0 {
+			return -repl
+		}
+		return repl
+	}
+	return v
+}

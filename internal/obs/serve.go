@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves live diagnostics for a running campaign:
+// net/http/pprof under /debug/pprof/ and the registry's expvar-style
+// snapshot at /metrics.
+type DebugServer struct {
+	// Addr is the address actually listened on (useful with ":0").
+	Addr string
+	srv  *http.Server
+	lis  net.Listener
+}
+
+// Serve starts a debug server on addr in a background goroutine. The
+// registry's snapshot is served at /metrics; pprof's profiles (heap,
+// goroutine, CPU profile, execution trace, …) under /debug/pprof/.
+func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	ds := &DebugServer{
+		Addr: lis.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		lis:  lis,
+	}
+	go func() { _ = ds.srv.Serve(lis) }()
+	return ds, nil
+}
+
+// Close stops the server.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fase/internal/obs"
+)
+
+// ManifestTables renders a run manifest as report tables — the human-
+// readable view of the JSON a campaign writes with -manifest-out: where
+// the time went, what the planner and caches did, and the provenance
+// behind every detection.
+func ManifestTables(m *obs.Manifest) []Table {
+	if m == nil {
+		return nil
+	}
+	return []Table{
+		manifestStageTable(m),
+		manifestCacheTable(m),
+		manifestPlannerTable(m),
+		manifestDetectionTable(m),
+	}
+}
+
+func manifestStageTable(m *obs.Manifest) Table {
+	t := Table{
+		Title:  "Stage timings",
+		Header: []string{"stage", "wall s", "cpu s", "share %"},
+	}
+	for _, st := range m.Stages {
+		share := 0.0
+		if m.TotalWallSeconds > 0 {
+			share = 100 * st.WallSeconds / m.TotalWallSeconds
+		}
+		t.Rows = append(t.Rows, []string{
+			st.Name,
+			fmt.Sprintf("%.4f", st.WallSeconds),
+			fmt.Sprintf("%.4f", st.CPUSeconds),
+			fmt.Sprintf("%.1f", share),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"total",
+		fmt.Sprintf("%.4f", m.TotalWallSeconds),
+		fmt.Sprintf("%.4f", m.TotalCPUSeconds),
+		"100.0",
+	})
+	return t
+}
+
+func manifestCacheTable(m *obs.Manifest) Table {
+	t := Table{
+		Title:  "Cache hit rates",
+		Header: []string{"cache", "hits", "misses", "hit rate"},
+	}
+	names := make([]string, 0, len(m.Caches))
+	for name := range m.Caches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := m.Caches[name]
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", c.Hits),
+			fmt.Sprintf("%d", c.Misses),
+			fmt.Sprintf("%.3f", c.HitRate),
+		})
+	}
+	return t
+}
+
+func manifestPlannerTable(m *obs.Manifest) Table {
+	p := m.Planner
+	return Table{
+		Title:  "Render planner",
+		Header: []string{"plans", "plan hits", "plan misses", "active", "skipped", "render skips", "segments"},
+		Rows: [][]string{{
+			fmt.Sprintf("%d", p.PlansBuilt),
+			fmt.Sprintf("%d", p.CacheHits),
+			fmt.Sprintf("%d", p.CacheMisses),
+			fmt.Sprintf("%d", p.ComponentsActive),
+			fmt.Sprintf("%d", p.ComponentsSkipped),
+			fmt.Sprintf("%d", p.RenderSkips),
+			fmt.Sprintf("%d", len(p.Segments)),
+		}},
+	}
+}
+
+func manifestDetectionTable(m *obs.Manifest) Table {
+	t := Table{
+		Title:  "Detections",
+		Header: []string{"freq kHz", "score", "best h", "harmonics", "mag dBm", "depth dB", "sub-scores"},
+	}
+	for _, d := range m.Detections {
+		subs := make([]string, 0, len(d.SubScores))
+		for _, s := range d.SubScores {
+			subs = append(subs, fmt.Sprintf("%+d:%.1f/%d", s.Harmonic, s.Score, s.Elevated))
+		}
+		harm := make([]string, 0, len(d.Harmonics))
+		for _, h := range d.Harmonics {
+			harm = append(harm, fmt.Sprintf("%+d", h))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", d.FreqHz/1e3),
+			fmt.Sprintf("%.1f", d.Score),
+			fmt.Sprintf("%+d", d.BestHarmonic),
+			strings.Join(harm, ","),
+			fmt.Sprintf("%.1f", d.MagnitudeDBm),
+			fmt.Sprintf("%.1f", d.DepthDB),
+			strings.Join(subs, " "),
+		})
+	}
+	return t
+}

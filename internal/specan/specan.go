@@ -13,6 +13,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"fase/internal/activity"
 	"fase/internal/dsp/bufpool"
@@ -20,6 +21,19 @@ import (
 	"fase/internal/dsp/spectral"
 	"fase/internal/dsp/window"
 	"fase/internal/emsim"
+	"fase/internal/obs"
+)
+
+// Process-wide analyzer counters; per-run attribution goes through
+// Config.Obs. The two histograms receive samples only while a run is
+// attached, so the uninstrumented hot path never reads the clock.
+var (
+	sweepsTotal     = obs.Default.Counter(obs.MetricSweeps)
+	capturesTotal   = obs.Default.Counter(obs.MetricSpecanCaptures)
+	planHitsTotal   = obs.Default.Counter(obs.MetricSpecanPlanHits)
+	planMissesTotal = obs.Default.Counter(obs.MetricSpecanPlanMisses)
+	renderSeconds   = obs.Default.Histogram(obs.MetricRenderSeconds, obs.ExpBuckets(1e-5, 4, 12))
+	fftSeconds      = obs.Default.Histogram(obs.MetricFFTSeconds, obs.ExpBuckets(1e-5, 4, 12))
 )
 
 // Config tunes the analyzer.
@@ -53,6 +67,12 @@ type Config struct {
 	// this is a debugging escape hatch for isolating the planner, not a
 	// result-changing switch.
 	NoPlan bool
+	// Obs, when non-nil, attaches run-level observability: per-capture
+	// render/FFT timing, plan-cache statistics, and — when Obs.Tracer is
+	// set — sweep/capture spans. A nil Obs (the default) keeps the hot
+	// path allocation-free, and instrumentation never changes rendered
+	// output (enforced by the equivalence tests).
+	Obs *obs.Run
 }
 
 func (c Config) withDefaults() Config {
@@ -113,9 +133,20 @@ func (a *Analyzer) planFor(scene *emsim.Scene, band emsim.Band, n int) *emsim.Re
 	}
 	key := planKey{scene: scene, center: band.Center, fs: band.SampleRate, n: n}
 	if v, ok := a.plans.Load(key); ok {
+		planHitsTotal.Inc()
+		if run := a.cfg.Obs; run != nil {
+			run.PlanCacheHits.Inc()
+		}
 		return v.(*emsim.RenderPlan)
 	}
-	v, _ := a.plans.LoadOrStore(key, scene.Plan(band, n))
+	planMissesTotal.Inc()
+	p := scene.Plan(band, n)
+	if run := a.cfg.Obs; run != nil {
+		run.PlanCacheMisses.Inc()
+		run.RecordPlan(band.Center, band.SampleRate, n,
+			p.ActiveCount(), len(scene.Components)-p.ActiveCount())
+	}
+	v, _ := a.plans.LoadOrStore(key, p)
 	return v.(*emsim.RenderPlan)
 }
 
@@ -172,6 +203,10 @@ func (a *Analyzer) TotalDuration(f1, f2 float64) float64 {
 type Request struct {
 	Scene  *emsim.Scene
 	F1, F2 float64
+	// Span, when active, is the trace span the sweep nests under (e.g.
+	// a campaign span). The zero value is fine: with Config.Obs tracing
+	// enabled the sweep then opens a root span of its own.
+	Span obs.Span
 	// Activity is the program-activity envelope during the sweep (nil =
 	// idle machine).
 	Activity *activity.Trace
@@ -199,11 +234,23 @@ func (a *Analyzer) segGeom(p plan, f1 float64, s int) (fStart, center float64, b
 
 // renderCapture renders capture capIdx of the sweep and writes its
 // periodogram into out (whose PmW the caller supplies). All scratch comes
-// from pools, so steady state allocates nothing.
-func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.Spectrum) {
+// from pools, so steady state allocates nothing. With Config.Obs attached
+// the two halves — scene render and window+FFT+calibrate — are timed
+// separately (and traced under parent when a tracer is set); timing never
+// touches the sample math, so output is identical either way.
+func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.Spectrum, parent obs.Span) {
+	run := a.cfg.Obs
 	_, center, _ := a.segGeom(p, req.F1, capIdx/a.cfg.Averages)
 	band := emsim.Band{Center: center, SampleRate: p.fs}
 	buf := bufpool.Complex(p.nfft)
+	var t0, t1, t2 time.Time
+	var cs obs.Span
+	if run != nil {
+		if parent.Active() {
+			cs = parent.Fork("capture")
+		}
+		t0 = time.Now()
+	}
 	req.Scene.RenderInto(buf, emsim.Capture{
 		Band:            band,
 		Start:           float64(capIdx) * a.CaptureDuration(),
@@ -214,8 +261,23 @@ func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.
 		NearFieldGainDB: req.NearFieldGainDB,
 		Plan:            a.planFor(req.Scene, band, p.nfft),
 	})
+	if run != nil {
+		t1 = time.Now()
+	}
 	spectral.PeriodogramInPlace(out, buf, p.fs, center, a.cfg.Window)
 	bufpool.PutComplex(buf)
+	capturesTotal.Inc()
+	if run != nil {
+		t2 = time.Now()
+		run.Captures.Inc()
+		run.RenderSeconds.Add(t1.Sub(t0).Seconds())
+		run.FFTSeconds.Add(t2.Sub(t1).Seconds())
+		renderSeconds.Observe(t1.Sub(t0).Seconds())
+		fftSeconds.Observe(t2.Sub(t1).Seconds())
+		cs.Mark("render", t0, t1.Sub(t0))
+		cs.Mark("fft", t1, t2.Sub(t1))
+		cs.End()
+	}
 }
 
 // Sweep measures the spectrum of the scene over [F1, F2].
@@ -229,6 +291,28 @@ func (a *Analyzer) Sweep(req Request) *spectral.Spectrum {
 	if req.Scene == nil {
 		panic("specan: sweep without a scene")
 	}
+	sweepsTotal.Inc()
+	// The span setup stays out of sweep so that, uninstrumented, req and
+	// the zero Span are captured by the worker closures by value: a defer
+	// or reassignment in the closure-owning frame would force both to the
+	// heap and cost two allocations per sweep even with tracing off.
+	if run := a.cfg.Obs; run != nil {
+		var sw obs.Span
+		if req.Span.Active() {
+			sw = req.Span.Fork("sweep")
+		} else {
+			sw = run.Tracer.Begin("sweep")
+		}
+		sp := a.sweep(req, sw)
+		sw.End()
+		return sp
+	}
+	return a.sweep(req, obs.Span{})
+}
+
+// sweep is the body of Sweep; sw is the already-open sweep span (zero
+// when tracing is off) and is ended by the caller.
+func (a *Analyzer) sweep(req Request, sw obs.Span) *spectral.Spectrum {
 	p := a.planSweep(req.F1, req.F2)
 	nCaps := p.segs * a.cfg.Averages
 	specs := make([]spectral.Spectrum, nCaps)
@@ -238,7 +322,7 @@ func (a *Analyzer) Sweep(req Request) *spectral.Spectrum {
 	if a.cfg.Parallelism == 1 {
 		for i := 0; i < nCaps; i++ {
 			a.sem <- struct{}{}
-			a.renderCapture(req, p, i, &specs[i])
+			a.renderCapture(req, p, i, &specs[i], sw)
 			<-a.sem
 		}
 	} else {
@@ -249,7 +333,7 @@ func (a *Analyzer) Sweep(req Request) *spectral.Spectrum {
 				defer wg.Done()
 				a.sem <- struct{}{}
 				defer func() { <-a.sem }()
-				a.renderCapture(req, p, i, &specs[i])
+				a.renderCapture(req, p, i, &specs[i], sw)
 			}(i)
 		}
 		wg.Wait()
