@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet lint build test race bench-smoke equivalence fuzz-smoke bench-regress obs-smoke
+.PHONY: ci fmt-check vet lint build test race shuffle bench-smoke equivalence fuzz-smoke bench-regress obs-smoke accuracy cover
 
 # ci is the full gate: formatting, vet + lint, build, tests (with the race
-# detector), the planner equivalence suite, a short fuzz of the band/extent
-# overlap logic, a benchmark smoke run, the sweep and campaign regression
-# gates, and the observability smoke test.
-ci: fmt-check vet lint build race equivalence fuzz-smoke bench-smoke bench-regress obs-smoke
+# detector, then again in shuffled order), the planner equivalence suite, a
+# short fuzz of the band/extent overlap logic, a benchmark smoke run, the
+# sweep and campaign regression gates, the observability smoke test, the
+# ground-truth accuracy gate, and the detection-core coverage floor.
+ci: fmt-check vet lint build race shuffle equivalence fuzz-smoke bench-smoke bench-regress obs-smoke accuracy cover
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -40,15 +41,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# shuffle reruns the suite in randomized test order to catch tests that
+# lean on cross-test state (shared caches, process-global metrics).
+shuffle:
+	$(GO) test -shuffle=on ./...
+
 # equivalence runs the planned-vs-unplanned bit-identity property tests
 # under the race detector (they exercise the parallel sweep path too).
 equivalence:
 	$(GO) test -run Equivalence -race ./...
 
 # fuzz-smoke briefly fuzzes the Band/extent overlap invariants the render
-# planner's culling correctness rests on.
+# planner's culling correctness rests on, the campaign config validator,
+# and the manifest table renderer (NaN/Inf/negative-frequency inputs).
 fuzz-smoke:
 	$(GO) test -run FuzzExtent -fuzz FuzzExtent -fuzztime 5s ./internal/emsim
+	$(GO) test -run xxx -fuzz FuzzCampaignValidate -fuzztime 5s ./internal/core
+	$(GO) test -run xxx -fuzz FuzzManifestTables -fuzztime 5s ./internal/report
 
 # bench-smoke runs the pipeline micro-benchmarks once each — enough to
 # catch a benchmark that no longer compiles or panics, without the cost of
@@ -85,6 +94,41 @@ bench-regress:
 	echo "bench-regress: campaign baseline $$cbase ns/op, fresh $$cnow ns/op, limit $$climit"; \
 	if [ "$$cnow" -gt "$$climit" ]; then \
 		echo "bench-regress: BenchmarkCampaignNarrowband regressed >25%"; exit 1; \
+	fi
+
+# accuracy runs the ground-truth harness (fase -verify): a 60-scenario
+# seeded-random machine corpus scanned by the unchanged pipeline, clean and
+# through the default fault-injection plan, scored against each scene's
+# planted carriers. Fails if the clean-corpus F1 or the fault-corpus
+# precision drops below the committed VERIFY_baseline.json (or the absolute
+# floors baked into internal/verify). Regenerate the baseline deliberately
+# with: fase -verify -verify-baseline-out VERIFY_baseline.json
+accuracy:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/fase ./cmd/fase || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/fase -verify -verify-out $$tmp/report.json -verify-roc-csv $$tmp/roc.csv \
+		-manifest-out $$tmp/manifest.json \
+		-verify-baseline VERIFY_baseline.json || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/fase -validate-manifest $$tmp/manifest.json || { rm -rf $$tmp; exit 1; }; \
+	for f in report.json roc.csv; do \
+		[ -s $$tmp/$$f ] || { echo "accuracy: $$f missing or empty"; rm -rf $$tmp; exit 1; }; \
+	done; \
+	grep -q '"accuracy"' $$tmp/manifest.json || { echo "accuracy: manifest missing accuracy stats"; rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; \
+	echo "accuracy: ok"
+
+# cover enforces a statement-coverage floor on the detection core — the
+# package the accuracy gate exists to protect.
+CORE_COVER_FLOOR ?= 85
+cover:
+	@prof=$$(mktemp); \
+	$(GO) test -coverprofile=$$prof ./internal/core >/dev/null || { rm -f $$prof; exit 1; }; \
+	pct=$$($(GO) tool cover -func=$$prof | awk '/^total:/ { sub(/%/, "", $$3); print int($$3) }'); \
+	rm -f $$prof; \
+	if [ -z "$$pct" ]; then echo "cover: could not read total coverage"; exit 1; fi; \
+	echo "cover: internal/core $$pct% (floor $(CORE_COVER_FLOOR)%)"; \
+	if [ "$$pct" -lt "$(CORE_COVER_FLOOR)" ]; then \
+		echo "cover: internal/core coverage below floor"; exit 1; \
 	fi
 
 # obs-smoke runs a tiny instrumented campaign through the CLI with every

@@ -15,10 +15,12 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
 	"fase/internal/activity"
+	"fase/internal/dsp/spectral"
 	"fase/internal/machine"
 	"fase/internal/microbench"
 	"fase/internal/specan"
@@ -74,16 +76,31 @@ func main() {
 		w = bufio.NewWriterSize(f, 1<<16)
 	}
 	defer w.Flush()
-	fmt.Fprintln(w, "freq_hz,dbm")
-	// strconv.AppendFloat produces the same bytes fmt's %.1f/%.2f would
-	// (fmt formats floats through it) without the interface boxing and
-	// verb parsing, which matters at ~100k rows per scan.
+	if err := writeCSV(w, s); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// writeCSV streams the spectrum as freq_hz,dbm rows. The byte format is
+// pinned by the golden-file test (testdata/*.csv): downstream tooling
+// diffs recorded scans, so refactors must keep the output bit-identical.
+// strconv.AppendFloat produces the same bytes fmt's %.1f/%.2f would (fmt
+// formats floats through it) without the interface boxing and verb
+// parsing, which matters at ~100k rows per scan.
+func writeCSV(w io.Writer, s *spectral.Spectrum) error {
+	if _, err := fmt.Fprintln(w, "freq_hz,dbm"); err != nil {
+		return err
+	}
 	buf := make([]byte, 0, 64)
 	for i := 0; i < s.Bins(); i++ {
 		buf = strconv.AppendFloat(buf[:0], s.Freq(i), 'f', 1, 64)
 		buf = append(buf, ',')
 		buf = strconv.AppendFloat(buf, s.DBm(i), 'f', 2, 64)
 		buf = append(buf, '\n')
-		w.Write(buf)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -14,6 +14,8 @@
 //	fase -system turion-laptop -classify
 //	fase -manifest-out run.json -trace-out trace.json -pprof localhost:6060
 //	fase -validate-manifest run.json
+//	fase -verify -verify-baseline VERIFY_baseline.json
+//	fase -verify -verify-scenarios 10 -verify-out report.json -verify-roc-csv roc.csv
 package main
 
 import (
@@ -51,8 +53,22 @@ func run() int {
 	manifestOut := flag.String("manifest-out", "", "write the primary campaign's run manifest (JSON) to FILE")
 	pprofAddr := flag.String("pprof", "", "serve live pprof + /metrics on ADDR (e.g. localhost:6060) while running")
 	validateManifest := flag.String("validate-manifest", "", "validate a run-manifest FILE against the schema and exit")
+	verifyMode := flag.Bool("verify", false, "run the ground-truth accuracy harness instead of a scan")
+	vf := verifyFlags{
+		scenarios:   flag.Int("verify-scenarios", 0, "accuracy corpus size (0 = default 60)"),
+		seed:        flag.Int64("verify-seed", 0, "accuracy corpus seed (0 = default 1)"),
+		faults:      flag.Bool("verify-faults", true, "also run the fault-injected corpus pass"),
+		out:         flag.String("verify-out", "", "write the accuracy report (JSON) to FILE"),
+		rocCSV:      flag.String("verify-roc-csv", "", "write the full ROC sweep (CSV) to FILE"),
+		baseline:    flag.String("verify-baseline", "", "gate the run against a committed baseline FILE (exit 1 on regression)"),
+		baselineOut: flag.String("verify-baseline-out", "", "write this run's metrics as a new baseline FILE"),
+	}
 	flag.Parse()
+	vf.manifestOut = manifestOut
 
+	if *verifyMode {
+		return runVerify(vf)
+	}
 	if *validateManifest != "" {
 		if err := obs.ValidateManifestFile(*validateManifest); err != nil {
 			fmt.Fprintln(os.Stderr, err)

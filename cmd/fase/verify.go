@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fase/internal/obs"
+	"fase/internal/report"
+	"fase/internal/verify"
+)
+
+// verifyFlags holds the -verify mode's knobs (see registerVerifyFlags).
+type verifyFlags struct {
+	scenarios   *int
+	seed        *int64
+	faults      *bool
+	out         *string
+	rocCSV      *string
+	baseline    *string
+	baselineOut *string
+	manifestOut *string
+}
+
+// runVerify executes the ground-truth accuracy harness: a randomized
+// machine corpus scanned by the unchanged campaign pipeline, scored
+// against each scene's planted carriers, optionally gated against a
+// committed baseline. Exit status 1 means the gate failed or an output
+// could not be written.
+func runVerify(vf verifyFlags) int {
+	cfg := verify.Config{
+		Scenarios: *vf.scenarios,
+		Seed:      *vf.seed,
+	}
+	if *vf.faults {
+		cfg.Faults = verify.DefaultFaultPlan()
+	}
+	if *vf.manifestOut != "" {
+		cfg.Obs = obs.NewRun()
+	}
+	fmt.Printf("accuracy harness: %d scenarios, seed %d, faults=%v\n",
+		cfg.Scenarios, cfg.Seed, cfg.Faults != nil)
+
+	rep, err := verify.Evaluate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, t := range verify.Tables(rep) {
+		fmt.Println(report.FormatTable(t))
+	}
+
+	ok := true
+	if *vf.out != "" {
+		if err := rep.WriteFile(*vf.out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			ok = false
+		}
+	}
+	if *vf.rocCSV != "" {
+		if err := writeROCCSV(*vf.rocCSV, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			ok = false
+		}
+	}
+	if *vf.manifestOut != "" {
+		if m := cfg.Obs.Manifest(); m != nil {
+			if err := m.WriteFile(*vf.manifestOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				ok = false
+			}
+		}
+	}
+	if *vf.baselineOut != "" {
+		if err := verify.BaselineOf(rep).WriteFile(*vf.baselineOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			ok = false
+		}
+		fmt.Printf("baseline written to %s\n", *vf.baselineOut)
+	}
+	if *vf.baseline != "" {
+		base, err := verify.ReadBaseline(*vf.baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := verify.Check(rep, base); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("accuracy gate passed against %s\n", *vf.baseline)
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func writeROCCSV(path string, rep *verify.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := verify.WriteROCCSV(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -72,6 +72,13 @@ type Campaign struct {
 	// analyzer (see specan.Config.NoPlan). Planned and unplanned rendering
 	// are bit-identical; this is a debugging escape hatch.
 	NoPlan bool
+	// Faults, when non-nil, deterministically degrades the measurement
+	// chain (see emsim.FaultPlan): per-capture faults are applied by the
+	// campaign's analyzer, and FAltDriftPPM perturbs each sweep's
+	// *generated* alternation frequency while scoring still assumes the
+	// nominal ladder. Nil — the default — changes nothing; the algorithm
+	// under test is never altered, only its input data.
+	Faults *emsim.FaultPlan
 }
 
 // MinScoreZero is the sentinel for Campaign.MinScore that requests a
@@ -88,11 +95,26 @@ const MinScoreZero = -1
 // misconfiguration surfaces as a returned error instead of a panic deep
 // in the sweep or a silently empty result.
 func (c Campaign) Validate() error {
+	// Non-finite inputs pass every ordered comparison below (NaN compares
+	// false against everything), so reject them explicitly before the
+	// range checks — a NaN Fres would otherwise surface as an integer
+	// conversion panic deep in the sweep planner.
+	for name, v := range map[string]float64{
+		"F1": c.F1, "F2": c.F2, "Fres": c.Fres,
+		"FAlt1": c.FAlt1, "FDelta": c.FDelta, "MinScore": c.MinScore,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: campaign %s %g is not finite", name, v)
+		}
+	}
 	if c.Fres <= 0 {
 		return fmt.Errorf("core: campaign resolution Fres must be positive, got %g Hz", c.Fres)
 	}
 	if c.F2 <= c.F1 {
 		return fmt.Errorf("core: campaign range [%g, %g] Hz is empty or inverted", c.F1, c.F2)
+	}
+	if c.F1 < 0 {
+		return fmt.Errorf("core: campaign start frequency %g Hz is negative", c.F1)
 	}
 	if c.FAlt1 <= 0 || c.FDelta <= 0 {
 		return fmt.Errorf("core: campaign needs positive FAlt1/FDelta, got %g/%g", c.FAlt1, c.FDelta)
@@ -100,11 +122,24 @@ func (c Campaign) Validate() error {
 	if c.NumAlts != 0 && c.NumAlts < 2 {
 		return fmt.Errorf("core: campaign needs at least 2 alternation frequencies, got %d", c.NumAlts)
 	}
+	// Individually finite FAlt1/FDelta can still overflow the ladder top
+	// (e.g. both near MaxFloat64), which would feed Inf alternation
+	// frequencies into the sweeps.
+	n := c.NumAlts
+	if n == 0 {
+		n = 5
+	}
+	if top := c.FAlt1 + float64(n-1)*c.FDelta; math.IsInf(top, 0) {
+		return fmt.Errorf("core: alternation ladder overflows (FAlt1 %g + %d×FDelta %g)", c.FAlt1, n-1, c.FDelta)
+	}
 	if c.MinScore < 0 && c.MinScore != MinScoreZero {
 		return fmt.Errorf("core: campaign MinScore %g is negative (use MinScoreZero for a zero threshold)", c.MinScore)
 	}
 	if c.Averages < 0 {
 		return fmt.Errorf("core: campaign Averages must be non-negative, got %d", c.Averages)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -276,7 +311,7 @@ func (r *Runner) RunE(c Campaign) (*Result, error) {
 	if run != nil {
 		camp = run.Tracer.Begin("campaign")
 	}
-	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism, NoPlan: c.NoPlan, Obs: run})
+	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism, NoPlan: c.NoPlan, Faults: c.Faults, Obs: run})
 	res := &Result{Campaign: c}
 	falts := c.FAlts()
 	res.SimulatedSeconds = float64(len(falts)) * an.TotalDuration(c.F1, c.F2)
@@ -291,8 +326,12 @@ func (r *Runner) RunE(c Campaign) (*Result, error) {
 		wg.Add(1)
 		go func(i int, fa float64) {
 			defer wg.Done()
+			// Under fault injection the micro-benchmark's clock may drift:
+			// the generated alternation runs at fa·(1+ε) while scoring
+			// still probes the nominal ladder.
+			faGen := fa * (1 + c.Faults.DriftFor(c.Seed+int64(i)*104729))
 			tr := microbench.Generate(microbench.Config{
-				X: c.X, Y: c.Y, FAlt: fa, Jitter: *c.Jitter,
+				X: c.X, Y: c.Y, FAlt: faGen, Jitter: *c.Jitter,
 				Seed: c.Seed + int64(i)*104729,
 			}, an.TotalDuration(c.F1, c.F2)+0.05)
 			sp := an.Sweep(specan.Request{
@@ -367,6 +406,10 @@ type campaignConfig struct {
 	Seed        int64   `json:"seed"`
 	Parallelism int     `json:"parallelism"`
 	NoPlan      bool    `json:"no_plan"`
+	// FaultsInjected flags runs whose measurement chain was degraded by a
+	// fault plan; their timings and detections are not comparable to
+	// clean runs.
+	FaultsInjected bool `json:"faults_injected"`
 }
 
 // manifestConfig converts a defaults-resolved campaign into its manifest
@@ -380,6 +423,7 @@ func manifestConfig(c Campaign) campaignConfig {
 		MergeBins: c.MergeBins, MinElevated: c.MinElevated,
 		X: c.X.String(), Y: c.Y.String(),
 		Seed: c.Seed, Parallelism: c.Parallelism, NoPlan: c.NoPlan,
+		FaultsInjected: c.Faults != nil,
 	}
 }
 

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCampaignValidate throws arbitrary — including non-finite — numeric
+// configurations at the campaign validator. The contract under test:
+// Validate never panics, and any campaign it accepts survives default
+// resolution with a finite, positive alternation ladder and a usable
+// threshold — i.e. Validate is the single gate RunE needs before doing
+// real work.
+func FuzzCampaignValidate(f *testing.F) {
+	nan, inf := math.NaN(), math.Inf(1)
+	seeds := [][6]float64{
+		{0.25e6, 0.55e6, 100, 43.3e3, 1e3, 0},    // the standard narrowband campaign
+		{nan, 0.55e6, 100, 43.3e3, 1e3, 0},       // NaN start frequency
+		{0.25e6, inf, 100, 43.3e3, 1e3, 0},       // infinite stop frequency
+		{0.25e6, 0.55e6, nan, 43.3e3, 1e3, 0},    // NaN resolution
+		{-0.25e6, 0.55e6, 100, 43.3e3, 1e3, 0},   // negative start frequency
+		{0.25e6, 0.55e6, 100, -43.3e3, 1e3, 0},   // negative f_alt
+		{0.25e6, 0.55e6, 100, 43.3e3, -1e3, 0},   // negative f_Δ
+		{0.25e6, 0.55e6, 100, 43.3e3, 1e3, -inf}, // -Inf threshold
+		{0.25e6, 0.55e6, 100, 43.3e3, 1e3, MinScoreZero},
+		{0.25e6, 0.55e6, 100, 1e308, 1e308, 0}, // finite inputs, Inf ladder top
+		{0.55e6, 0.25e6, 100, 43.3e3, 1e3, 0},  // inverted range
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2], s[3], s[4], s[5], 5, 4)
+	}
+	f.Fuzz(func(t *testing.T, f1, f2, fres, falt1, fdelta, minScore float64, numAlts, averages int) {
+		c := Campaign{
+			F1: f1, F2: f2, Fres: fres,
+			FAlt1: falt1, FDelta: fdelta,
+			MinScore: minScore, NumAlts: numAlts, Averages: averages,
+		}
+		if err := c.Validate(); err != nil {
+			return // rejected is always a fine answer
+		}
+		d := c.withDefaults()
+		if d.MinScore < 0 || math.IsNaN(d.MinScore) {
+			t.Fatalf("validated campaign resolved to threshold %g", d.MinScore)
+		}
+		if d.SmoothBins < 1 || d.MergeBins < 1 || d.NumAlts < 2 || d.Averages < 1 {
+			t.Fatalf("validated campaign resolved to unusable defaults: %+v", d)
+		}
+		for _, fa := range d.FAlts() {
+			if fa <= 0 || math.IsNaN(fa) || math.IsInf(fa, 0) {
+				t.Fatalf("validated campaign yields alternation frequency %g (ladder %v)", fa, d.FAlts())
+			}
+		}
+	})
+}

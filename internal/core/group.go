@@ -74,6 +74,16 @@ func GroupHarmonics(dets []Detection, tol float64) []HarmonicSet {
 				}
 			}
 		}
+		if len(best.cover) == 0 {
+			// No candidate covered anything. Possible only for degenerate
+			// frequencies (zero, negative, NaN) whose order arithmetic never
+			// matches — emit the first remaining detection as a singleton so
+			// grouping always terminates.
+			d := remaining[0]
+			sets = append(sets, HarmonicSet{Fundamental: d.Freq, Members: []Detection{d}, Orders: []int{1}})
+			remaining = remaining[1:]
+			continue
+		}
 		set := HarmonicSet{Fundamental: best.fund}
 		covered := make(map[int]bool, len(best.cover))
 		for _, i := range best.cover {

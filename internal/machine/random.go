@@ -1,0 +1,334 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fase/internal/activity"
+	"fase/internal/emsim"
+	"fase/internal/sig"
+)
+
+// RandomSpec bounds the randomized system generator behind the accuracy
+// harness (internal/verify): how many of each emitter class a generated
+// system may carry, and where in the scanned band their fundamentals land.
+// The zero value of every field selects the default noted on it.
+type RandomSpec struct {
+	// F1, F2 bound the band the corpus campaign will scan; generated
+	// fundamentals land inside it with a 5% margin on both edges.
+	F1, F2 float64
+	// MinSepHz is the minimum spacing between any two generated
+	// fundamentals, keeping planted carriers and decoys resolvable as
+	// distinct detections. Zero means 15 kHz.
+	MinSepHz float64
+	// MaxPlanted caps the activity-modulated emitters (the carriers FASE
+	// must find): switching regulators on the DRAM/memory-interface rails
+	// and unspread memory clocks. At least one is always planted. Zero
+	// means 3.
+	MaxPlanted int
+	// MaxDecoys caps the unmodulated clocks (the carriers FASE must
+	// reject). Zero means 3.
+	MaxDecoys int
+	// MaxStations caps the AM broadcast interferers parked inside the
+	// scanned band. Zero means 2.
+	MaxStations int
+	// SSCDecoyProb is the probability of one spread-spectrum clock decoy.
+	// Zero means 0.5; negative disables.
+	SSCDecoyProb float64
+	// CoreRegProb is the probability of a core-rail switching regulator.
+	// Against a memory-only activity pair (e.g. LDM/LDL1) it is a decoy
+	// with the full spectral signature of a planted carrier — the
+	// sharpest rejection test in the corpus. Zero means 0.5; negative
+	// disables.
+	CoreRegProb float64
+	// FMRegProb is the probability of a constant-on-time (frequency-
+	// modulated) regulator, which FASE must not report even though its
+	// load tracks activity. Zero means 0.25; negative disables.
+	FMRegProb float64
+	// RefreshProb is the probability of a memory-refresh emitter (a
+	// planted comb line; activity *weakens* it, §4.2). Zero means 0.2;
+	// negative disables.
+	RefreshProb float64
+	// AvoidSpacings are |Δf| intervals no two generated carrier lines may
+	// have between them. The accuracy harness fills this with the
+	// campaign's m·f_alt ghost windows: the detector (correctly,
+	// following the paper) attributes a weak carrier at an m·f_alt
+	// spacing from a much stronger one to the strong carrier's flanks,
+	// so such a placement is undetectable by design — the paper's remedy
+	// is rescanning at a different f_alt, which the corpus forgoes by
+	// never creating the collision.
+	AvoidSpacings [][2]float64
+}
+
+func (s RandomSpec) withDefaults() RandomSpec {
+	if s.MinSepHz == 0 {
+		s.MinSepHz = 15e3
+	}
+	if s.MaxPlanted == 0 {
+		s.MaxPlanted = 3
+	}
+	if s.MaxDecoys == 0 {
+		s.MaxDecoys = 3
+	}
+	if s.MaxStations == 0 {
+		s.MaxStations = 2
+	}
+	if s.SSCDecoyProb == 0 {
+		s.SSCDecoyProb = 0.5
+	}
+	if s.CoreRegProb == 0 {
+		s.CoreRegProb = 0.5
+	}
+	if s.FMRegProb == 0 {
+		s.FMRegProb = 0.25
+	}
+	if s.RefreshProb == 0 {
+		s.RefreshProb = 0.2
+	}
+	return s
+}
+
+// freqPlacer hands out fundamentals inside the band margin by rejection
+// sampling: every line a candidate emitter would put in band (fundamental
+// and harmonics) must keep MinSepHz from every line already placed AND
+// must not sit at a forbidden |Δf| spacing (AvoidSpacings, the detector's
+// m·f_alt ghost windows) from any of them.
+type freqPlacer struct {
+	r       *rand.Rand
+	lo, hi  float64
+	bandTop float64 // lines above this are out of scan and unconstrained
+	minSep  float64
+	avoid   [][2]float64
+	lines   []float64 // every in-band line placed so far
+}
+
+func newFreqPlacer(r *rand.Rand, spec RandomSpec) *freqPlacer {
+	margin := 0.05 * (spec.F2 - spec.F1)
+	return &freqPlacer{
+		r: r, lo: spec.F1 + margin, hi: spec.F2 - margin,
+		bandTop: spec.F2, minSep: spec.MinSepHz, avoid: spec.AvoidSpacings,
+	}
+}
+
+// lineOK checks one candidate line against everything placed so far.
+func (p *freqPlacer) lineOK(f float64) bool {
+	for _, g := range p.lines {
+		df := math.Abs(f - g)
+		if df < p.minSep {
+			return false
+		}
+		for _, iv := range p.avoid {
+			if df >= iv[0] && df <= iv[1] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// place returns a fresh fundamental whose lines at n·f (n = 1..maxLines,
+// clipped to the scanned band) all clear the placed set, and registers
+// them. Returns 0 when the band is too crowded (the caller then stops
+// adding emitters).
+func (p *freqPlacer) place(maxLines int) float64 {
+	for try := 0; try < 500; try++ {
+		f := p.lo + p.r.Float64()*(p.hi-p.lo)
+		ok := true
+		var cand []float64
+		for n := 1; n <= maxLines && float64(n)*f <= p.bandTop; n++ {
+			cand = append(cand, float64(n)*f)
+		}
+		for _, cf := range cand {
+			if !p.lineOK(cf) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			p.lines = append(p.lines, cand...)
+			return f
+		}
+	}
+	return 0
+}
+
+// RandomSystem generates a seeded-random machine model for the accuracy
+// corpus: 1..MaxPlanted activity-modulated emitters drawn from the same
+// classes as the hand-built registry systems (DRAM/memory-interface
+// switching regulators, unspread memory clocks, optionally a refresh
+// comb), surrounded by decoys FASE must reject (unmodulated clocks, a
+// core-rail regulator idle under memory-only pairs, an FM-only regulator,
+// a spread-spectrum clock) and in-band AM broadcast interferers. All
+// parameters are drawn from r, so a given (seed, spec) pair always builds
+// the same system; ground truth comes from the scene's GroundTruth, which
+// classifies every carrier by domain and modulation capability.
+//
+// Every emitter parameter range is bracketed by the registry systems
+// (systems.go), so the corpus stays inside the physics the simulator was
+// calibrated for.
+func RandomSystem(r *rand.Rand, spec RandomSpec) *System {
+	spec = spec.withDefaults()
+	if spec.F2 <= spec.F1 {
+		panic(fmt.Sprintf("machine: random system band [%g, %g] is empty", spec.F1, spec.F2))
+	}
+	place := newFreqPlacer(r, spec)
+	sys := &System{Name: "randomized corpus system"}
+
+	memDomains := []activity.Domain{activity.DomainDRAM, activity.DomainMemCtl}
+	nPlanted := 1 + r.Intn(spec.MaxPlanted)
+	for i := 0; i < nPlanted; i++ {
+		maxH := 1 + r.Intn(3)
+		isReg := r.Float64() < 0.7
+		if !isReg {
+			maxH = 1
+		}
+		f := place.place(maxH)
+		if f == 0 {
+			break
+		}
+		if isReg {
+			reg := &SwitchingRegulator{
+				Label:          fmt.Sprintf("planted regulator %d (%.0f kHz)", i, f/1e3),
+				FSw:            f,
+				BaseDuty:       0.06 + 0.07*r.Float64(),
+				DutySwing:      0.03 + 0.05*r.Float64(),
+				FundamentalDBm: -112 + 8*r.Float64(),
+				MaxHarmonics:   maxH,
+				WanderSigma:    300 + 200*r.Float64(),
+				WanderTau:      (0.8 + 0.7*r.Float64()) * 1e-3,
+				LoopBw:         40e3 + 50e3*r.Float64(),
+				Dom:            memDomains[r.Intn(len(memDomains))],
+			}
+			sys.Emitters = append(sys.Emitters, reg)
+			if sys.MemRegulator == nil {
+				sys.MemRegulator = reg
+			}
+		} else {
+			// An unspread memory clock whose switching current tracks DRAM
+			// activity — the p3m-laptop's SDRAM clock class.
+			clk := &SSCClock{
+				Label:          fmt.Sprintf("planted memory clock %d (%.0f kHz)", i, f/1e3),
+				F0:             f,
+				FundamentalDBm: -110 + 8*r.Float64(),
+				IdleFrac:       0.4 + 0.15*r.Float64(),
+				MaxHarmonics:   1,
+				Dom:            activity.DomainDRAM,
+			}
+			sys.Emitters = append(sys.Emitters, clk)
+			if sys.DRAMClock == nil {
+				sys.DRAMClock = clk
+			}
+		}
+	}
+
+	if spec.RefreshProb > 0 && r.Float64() < spec.RefreshProb {
+		// The refresh pulse train is a comb at every multiple of 1/TRefi,
+		// so the whole in-band family is placed and listed as ground truth
+		// (MaxHarmonics must cover it: the render does not truncate).
+		if f := place.place(1 << 10); f != 0 {
+			sys.Refresh = &RefreshEmitter{
+				Label:           fmt.Sprintf("planted refresh comb (%.0f kHz)", f/1e3),
+				TRefi:           1 / f,
+				PulseWidth:      200e-9,
+				LineDBm:         -118 + 4*r.Float64(),
+				Ranks:           1,
+				NearRankWeights: []float64{1},
+				DisruptGain:     0.3 + 0.1*r.Float64(),
+				JitterIdle:      0.002,
+				MaxHarmonics:    int(spec.F2 / f),
+				Dom:             activity.DomainDRAM,
+			}
+			sys.Emitters = append(sys.Emitters, sys.Refresh)
+		}
+	}
+
+	if spec.CoreRegProb > 0 && r.Float64() < spec.CoreRegProb {
+		maxH := 1 + r.Intn(3)
+		if f := place.place(maxH); f != 0 {
+			sys.CoreRegulator = &SwitchingRegulator{
+				Label:          fmt.Sprintf("core regulator decoy (%.0f kHz)", f/1e3),
+				FSw:            f,
+				BaseDuty:       0.06 + 0.07*r.Float64(),
+				DutySwing:      0.05 + 0.05*r.Float64(),
+				FundamentalDBm: -110 + 6*r.Float64(),
+				MaxHarmonics:   maxH,
+				WanderSigma:    300 + 200*r.Float64(),
+				WanderTau:      (0.8 + 0.7*r.Float64()) * 1e-3,
+				LoopBw:         40e3 + 50e3*r.Float64(),
+				Dom:            activity.DomainCore,
+			}
+			sys.Emitters = append(sys.Emitters, sys.CoreRegulator)
+		}
+	}
+
+	if spec.FMRegProb > 0 && r.Float64() < spec.FMRegProb {
+		if f := place.place(1); f != 0 {
+			sys.FMCoreRegulator = &ConstantOnTimeRegulator{
+				Label:          fmt.Sprintf("FM regulator decoy (%.0f kHz)", f/1e3),
+				F0:             f,
+				FreqSwing:      0.1 + 0.05*r.Float64(),
+				TOn:            260e-9,
+				FundamentalDBm: -111 + 4*r.Float64(),
+				WanderSigma:    35e3,
+				WanderTau:      60e-6,
+				Dom:            activity.DomainDRAM,
+			}
+			sys.Emitters = append(sys.Emitters, sys.FMCoreRegulator)
+		}
+	}
+
+	if spec.SSCDecoyProb > 0 && r.Float64() < spec.SSCDecoyProb {
+		if f := place.place(1); f != 0 {
+			profiles := []sig.SweepProfile{sig.TriangleSweep{}, sig.SineSweep{}}
+			sys.Emitters = append(sys.Emitters, &SSCClock{
+				Label:          fmt.Sprintf("SSC clock decoy (%.0f kHz)", f/1e3),
+				F0:             f,
+				SpreadHz:       3e3 + 4e3*r.Float64(),
+				RateHz:         10e3 + 20e3*r.Float64(),
+				Profile:        profiles[r.Intn(len(profiles))],
+				FundamentalDBm: -110 + 6*r.Float64(),
+				IdleFrac:       1,
+				MaxHarmonics:   1,
+				Dom:            activity.DomainNone,
+			})
+		}
+	}
+
+	nDecoys := r.Intn(spec.MaxDecoys + 1)
+	for i := 0; i < nDecoys; i++ {
+		f := place.place(1)
+		if f == 0 {
+			break
+		}
+		clk := &UnmodulatedClock{
+			Label:          fmt.Sprintf("unmodulated clock decoy %d (%.0f kHz)", i, f/1e3),
+			F0:             f,
+			FundamentalDBm: -120 + 10*r.Float64(),
+			MaxHarmonics:   1,
+		}
+		if r.Float64() < 0.5 {
+			clk.WanderSigma = 50 + 100*r.Float64()
+			clk.WanderTau = (1 + r.Float64()) * 1e-3
+		}
+		sys.Emitters = append(sys.Emitters, clk)
+	}
+
+	nStations := r.Intn(spec.MaxStations + 1)
+	for i := 0; i < nStations; i++ {
+		f := place.place(1)
+		if f == 0 {
+			break
+		}
+		sys.Emitters = append(sys.Emitters, &emsim.AMStation{
+			Call:      fmt.Sprintf("CORP%d", i),
+			Freq:      f,
+			PowerMw:   dbmToMw(-100 + 10*r.Float64()),
+			Depth:     0.3 + 0.5*r.Float64(),
+			AudioSeed: r.Int63(),
+		})
+	}
+	return sys
+}
+
+func dbmToMw(dbm float64) float64 { return math.Pow(10, dbm/10) }

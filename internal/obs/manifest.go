@@ -38,6 +38,30 @@ type Manifest struct {
 	Planner       PlannerStats          `json:"planner"`
 	Caches        map[string]CacheStats `json:"caches"`
 	Detections    []DetectionRecord     `json:"detections"`
+	// Accuracy is present only on accuracy-harness runs (internal/verify):
+	// the corpus-wide ground-truth scoring, so a manifest archive carries
+	// detection quality alongside cost.
+	Accuracy *AccuracyStats `json:"accuracy,omitempty"`
+}
+
+// AccuracyStats is the accuracy harness's aggregate scoring as recorded
+// in the run manifest.
+type AccuracyStats struct {
+	Scenarios int             `json:"scenarios"`
+	NoFault   AccuracyCorpus  `json:"no_fault"`
+	Faulted   *AccuracyCorpus `json:"faulted,omitempty"`
+}
+
+// AccuracyCorpus is one corpus pass's confusion counts and rates.
+type AccuracyCorpus struct {
+	TruePositives  int     `json:"true_positives"`
+	FalsePositives int     `json:"false_positives"`
+	FalseNegatives int     `json:"false_negatives"`
+	Precision      float64 `json:"precision"`
+	Recall         float64 `json:"recall"`
+	F1             float64 `json:"f1"`
+	// MeanAbsFreqErrHz is the mean |f_detected − f_truth| over matches.
+	MeanAbsFreqErrHz float64 `json:"mean_abs_freq_err_hz"`
 }
 
 // StageTiming is one sequential pipeline stage's cost.
@@ -189,6 +213,19 @@ func ValidateManifest(data []byte) error {
 			return fmt.Errorf("obs: cache %q has malformed stats %+v", name, c)
 		}
 	}
+	if a := m.Accuracy; a != nil {
+		if a.Scenarios <= 0 {
+			return fmt.Errorf("obs: accuracy stats with %d scenarios", a.Scenarios)
+		}
+		if err := validateAccuracyCorpus("no_fault", a.NoFault); err != nil {
+			return err
+		}
+		if a.Faulted != nil {
+			if err := validateAccuracyCorpus("faulted", *a.Faulted); err != nil {
+				return err
+			}
+		}
+	}
 	for i, d := range m.Detections {
 		if d.FreqHz < 0 {
 			return fmt.Errorf("obs: detection %d has negative frequency", i)
@@ -204,6 +241,23 @@ func ValidateManifest(data []byte) error {
 				return fmt.Errorf("obs: detection %d has malformed sub-score %+v", i, s)
 			}
 		}
+	}
+	return nil
+}
+
+func validateAccuracyCorpus(name string, c AccuracyCorpus) error {
+	if c.TruePositives < 0 || c.FalsePositives < 0 || c.FalseNegatives < 0 {
+		return fmt.Errorf("obs: accuracy.%s has negative confusion counts %+v", name, c)
+	}
+	for field, v := range map[string]float64{
+		"precision": c.Precision, "recall": c.Recall, "f1": c.F1,
+	} {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("obs: accuracy.%s.%s %g outside [0, 1]", name, field, v)
+		}
+	}
+	if math.IsNaN(c.MeanAbsFreqErrHz) || math.IsInf(c.MeanAbsFreqErrHz, 0) || c.MeanAbsFreqErrHz < 0 {
+		return fmt.Errorf("obs: accuracy.%s.mean_abs_freq_err_hz %g is malformed", name, c.MeanAbsFreqErrHz)
 	}
 	return nil
 }

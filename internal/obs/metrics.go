@@ -40,6 +40,7 @@ const (
 	MetricPlanComponentsSkip   = "fase_emsim_plan_components_skipped_total"
 	MetricRenderCaptures       = "fase_emsim_captures_rendered_total"
 	MetricRenderComponentSkips = "fase_emsim_render_component_skips_total"
+	MetricFaultedCaptures      = "fase_emsim_faulted_captures_total"
 	MetricSweeps               = "fase_specan_sweeps_total"
 	MetricSpecanCaptures       = "fase_specan_captures_total"
 	MetricSpecanPlanHits       = "fase_specan_plan_cache_hits_total"

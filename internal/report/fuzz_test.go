@@ -1,0 +1,71 @@
+package report_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fase/internal/obs"
+	"fase/internal/report"
+)
+
+// FuzzManifestTables renders manifests built from arbitrary numbers —
+// NaN/Inf timings, negative frequencies and counts, empty and oversized
+// harmonic lists — through every manifest table and the text formatter.
+// The contract: rendering never panics and always produces the four
+// tables, whatever garbage an on-disk manifest holds (ManifestTables is
+// fed from user-supplied -manifest-out JSON, which json.Unmarshal happily
+// fills with any float and any sign).
+func FuzzManifestTables(f *testing.F) {
+	nan, inf := math.NaN(), math.Inf(1)
+	f.Add(1.5, 1.2, 0.8, 315e3, 120.0, 5, int64(200))
+	f.Add(nan, nan, nan, nan, nan, 0, int64(0))
+	f.Add(0.0, inf, -inf, -440e3, -1.0, -7, int64(-3)) // negative frequency, harmonic, counts
+	f.Add(-1.0, 0.0, 0.0, inf, 1e308, 99, int64(1<<62))
+	f.Fuzz(func(t *testing.T, wall, stageWall, hitRate, freq, score float64, harmonic int, captures int64) {
+		m := &obs.Manifest{
+			Schema:           "fase-run-manifest/1",
+			TotalWallSeconds: wall,
+			TotalCPUSeconds:  wall / 2,
+			Captures:         captures,
+			Stages: []obs.StageTiming{
+				{Name: "sweeps", WallSeconds: stageWall, CPUSeconds: stageWall},
+				{Name: "", WallSeconds: -stageWall},
+			},
+			Caches: map[string]obs.CacheStats{
+				"fft_plan": {Hits: captures, Misses: -1, HitRate: hitRate},
+				"":         {HitRate: nan},
+			},
+			Planner: obs.PlannerStats{
+				PlansBuilt: captures, CacheMisses: -captures,
+				Segments: []obs.SegmentPlan{{CenterHz: freq}},
+			},
+			Detections: []obs.DetectionRecord{
+				{
+					FreqHz: freq, Score: score, BestHarmonic: harmonic,
+					Harmonics:    []int{harmonic, -harmonic},
+					MagnitudeDBm: score, DepthDB: -score,
+					SubScores: []obs.HarmonicScore{
+						{Harmonic: harmonic, Score: score, Elevated: harmonic},
+					},
+				},
+				{}, // all-zero record
+			},
+		}
+		tables := report.ManifestTables(m)
+		if len(tables) != 4 {
+			t.Fatalf("%d tables, want 4", len(tables))
+		}
+		for _, tb := range tables {
+			out := report.FormatTable(tb)
+			if !strings.Contains(out, tb.Title) {
+				t.Fatalf("formatted table lost its title %q:\n%s", tb.Title, out)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Header) {
+					t.Fatalf("table %q row width %d, header width %d", tb.Title, len(row), len(tb.Header))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package specan
+
+import (
+	"testing"
+
+	"fase/internal/machine"
+)
+
+// TestSweepSteadyStateAllocs pins the per-sweep allocation count of the
+// serial capture path. After warm-up the big scratch (FFT buffers, bin
+// arrays) comes from pools and the plan cache is hot; what remains is the
+// result assembly (specs/parts slices, trace averager, stitched spectrum,
+// ~30 allocations) plus a handful of small per-render objects (one-pole
+// filter and impulse-kernel state some emitters rebuild per capture,
+// ~7 each). Pinning the total turns "the sweep got chattier with the
+// allocator" — e.g. a pooled buffer quietly replaced by make, one extra
+// object per capture — into a test failure instead of a silent perf
+// regression.
+func TestSweepSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the pin only holds on plain builds")
+	}
+	sys, err := machine.Lookup("i7-desktop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxFFT 4096 forces 4 segments over the 1.2 MHz span (12000 bins at
+	// 3072 usable per segment), i.e. 16 captures per sweep; Parallelism 1
+	// keeps the measurement on the serial path AllocsPerRun can count
+	// deterministically (goroutine stacks are not allocation-stable).
+	an := New(Config{Fres: 100, MaxFFT: 4096, Parallelism: 1})
+	req := Request{Scene: sys.Scene(1, true), F1: 100e3, F2: 1.3e6, Seed: 1}
+	for i := 0; i < 2; i++ { // warm pools and plan cache
+		req.Seed++
+		an.Sweep(req)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		req.Seed++
+		if sp := an.Sweep(req); sp.Bins() == 0 {
+			t.Fatal("empty sweep")
+		}
+	})
+	// Measured 2026-08: 148 allocs/sweep. The bound leaves <10% headroom
+	// for toolchain drift — less than the +16 a single extra allocation
+	// per capture would add.
+	const maxAllocs = 160
+	if allocs > maxAllocs {
+		t.Errorf("steady-state sweep made %.0f allocations, want <= %d", allocs, maxAllocs)
+	}
+}

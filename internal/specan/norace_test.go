@@ -1,0 +1,6 @@
+//go:build !race
+
+package specan
+
+// See race_test.go.
+const raceEnabled = false

@@ -67,6 +67,13 @@ type Config struct {
 	// this is a debugging escape hatch for isolating the planner, not a
 	// result-changing switch.
 	NoPlan bool
+	// Faults, when non-nil, deterministically degrades every rendered
+	// capture before its FFT (see emsim.FaultPlan): dropped/truncated
+	// traces, ADC clipping, burst interferers, added noise. Nil — the
+	// default — leaves the capture path untouched and allocation-free; the
+	// accuracy harness (internal/verify) uses this to stress the unchanged
+	// FASE algorithm.
+	Faults *emsim.FaultPlan
 	// Obs, when non-nil, attaches run-level observability: per-capture
 	// render/FFT timing, plan-cache statistics, and — when Obs.Tracer is
 	// set — sweep/capture spans. A nil Obs (the default) keeps the hot
@@ -263,6 +270,12 @@ func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.
 	})
 	if run != nil {
 		t1 = time.Now()
+	}
+	if fp := a.cfg.Faults; fp != nil {
+		// Fault seed = capture seed: the degradation is pinned to the
+		// capture's position in the sweep, so results are independent of
+		// parallelism exactly like the render itself.
+		fp.Apply(buf, band, req.Seed+int64(capIdx)*7919)
 	}
 	spectral.PeriodogramInPlace(out, buf, p.fs, center, a.cfg.Window)
 	bufpool.PutComplex(buf)

@@ -1,0 +1,111 @@
+package verify
+
+import (
+	"fmt"
+	"io"
+
+	"fase/internal/report"
+)
+
+// Tables renders the report for terminal consumption via
+// report.FormatTable: a corpus summary, per-pass accuracy, and the ROC
+// sweep.
+func Tables(r *Report) []report.Table {
+	tables := []report.Table{summaryTable(r), corpusTable("Clean corpus", r.NoFault)}
+	if r.Faulted != nil {
+		tables = append(tables, corpusTable("Fault-injected corpus", r.Faulted))
+	}
+	tables = append(tables, rocTable(r))
+	return tables
+}
+
+func summaryTable(r *Report) report.Table {
+	rows := [][]string{
+		{"scenarios", fmt.Sprintf("%d", r.Scenarios)},
+		{"seed", fmt.Sprintf("%d", r.Seed)},
+		{"band", fmt.Sprintf("%.0f–%.0f kHz @ %.0f Hz", r.Config.F1/1e3, r.Config.F2/1e3, r.Config.Fres)},
+		{"alternation", fmt.Sprintf("%s/%s, f_alt %.1f kHz", r.Config.X, r.Config.Y, r.Config.FAlt1/1e3)},
+		{"planted carriers", fmt.Sprintf("%d", r.CarriersTotal)},
+		{"decoy carriers", fmt.Sprintf("%d", r.DecoysTotal)},
+		{"gate threshold", fmt.Sprintf("%.0f", r.Config.MinScore)},
+		{"match tolerance", fmt.Sprintf("%.1f kHz", r.Config.MatchToleranceHz/1e3)},
+		{"simulated scan time", fmt.Sprintf("%.0f s", r.SimulatedSeconds)},
+	}
+	if r.Config.FaultPlan != nil {
+		rows = append(rows, []string{"fault plan", fmt.Sprintf("drop %.0f%% trunc %.0f%% burst %.0f%% clip %.0f dBm noise %.0f dBm/Hz drift %.0f ppm",
+			100*r.Config.FaultPlan.DropProb, 100*r.Config.FaultPlan.TruncProb,
+			100*r.Config.FaultPlan.BurstProb, r.Config.FaultPlan.ClipDBm,
+			r.Config.FaultPlan.ExtraNoiseDBmPerHz, r.Config.FaultPlan.FAltDriftPPM)})
+	}
+	return report.Table{
+		Title:  "Ground-truth accuracy corpus",
+		Header: []string{"parameter", "value"},
+		Rows:   rows,
+	}
+}
+
+func corpusTable(title string, c *Corpus) report.Table {
+	return report.Table{
+		Title:  title,
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"detections", fmt.Sprintf("%d", c.Detections)},
+			{"true positives", fmt.Sprintf("%d", c.TP)},
+			{"false positives", fmt.Sprintf("%d (%d on decoys)", c.FP, c.DecoyHits)},
+			{"carriers found", fmt.Sprintf("%d / %d", c.CarriersFound, c.CarriersTotal)},
+			{"precision", fmt.Sprintf("%.4f", c.Precision)},
+			{"recall", fmt.Sprintf("%.4f", c.Recall)},
+			{"F1", fmt.Sprintf("%.4f", c.F1)},
+			{"freq err mean", fmt.Sprintf("%.1f Hz", c.FreqErr.MeanAbsHz)},
+			{"freq err median", fmt.Sprintf("%.1f Hz", c.FreqErr.MedianAbsHz)},
+			{"freq err p95", fmt.Sprintf("%.1f Hz", c.FreqErr.P95AbsHz)},
+			{"freq err max", fmt.Sprintf("%.1f Hz", c.FreqErr.MaxAbsHz)},
+		},
+	}
+}
+
+// rocTable shows at most a dozen points of the sweep; the CSV holds all.
+func rocTable(r *Report) report.Table {
+	t := report.Table{
+		Title:  "ROC over MinScore (clean corpus, post-hoc threshold)",
+		Header: []string{"threshold", "TP", "FP", "recall", "precision", "F1"},
+	}
+	pts := r.ROC
+	stride := 1
+	if len(pts) > 12 {
+		stride = (len(pts) + 11) / 12
+	}
+	for i := 0; i < len(pts); i += stride {
+		p := pts[i]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", p.Threshold),
+			fmt.Sprintf("%d", p.TP), fmt.Sprintf("%d", p.FP),
+			fmt.Sprintf("%.4f", p.Recall), fmt.Sprintf("%.4f", p.Precision),
+			fmt.Sprintf("%.4f", p.F1),
+		})
+	}
+	if stride > 1 && (len(pts)-1)%stride != 0 {
+		p := pts[len(pts)-1]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", p.Threshold),
+			fmt.Sprintf("%d", p.TP), fmt.Sprintf("%d", p.FP),
+			fmt.Sprintf("%.4f", p.Recall), fmt.Sprintf("%.4f", p.Precision),
+			fmt.Sprintf("%.4f", p.F1),
+		})
+	}
+	return t
+}
+
+// WriteROCCSV writes the full ROC sweep, one operating point per row.
+func WriteROCCSV(w io.Writer, r *Report) error {
+	if _, err := fmt.Fprintln(w, "threshold,tp,fp,carriers_found,precision,recall,f1"); err != nil {
+		return err
+	}
+	for _, p := range r.ROC {
+		if _, err := fmt.Fprintf(w, "%g,%d,%d,%d,%g,%g,%g\n",
+			p.Threshold, p.TP, p.FP, p.CarriersFound, p.Precision, p.Recall, p.F1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
