@@ -53,11 +53,13 @@ equivalence:
 
 # fuzz-smoke briefly fuzzes the Band/extent overlap invariants the render
 # planner's culling correctness rests on, the campaign config validator,
-# and the manifest table renderer (NaN/Inf/negative-frequency inputs).
+# the manifest table renderer (NaN/Inf/negative-frequency inputs), and the
+# real-input FFT against the complex reference transform.
 fuzz-smoke:
 	$(GO) test -run FuzzExtent -fuzz FuzzExtent -fuzztime 5s ./internal/emsim
 	$(GO) test -run xxx -fuzz FuzzCampaignValidate -fuzztime 5s ./internal/core
 	$(GO) test -run xxx -fuzz FuzzManifestTables -fuzztime 5s ./internal/report
+	$(GO) test -run xxx -fuzz FuzzRFFT -fuzztime 5s ./internal/dsp/fft
 
 # bench-smoke runs the pipeline micro-benchmarks once each — enough to
 # catch a benchmark that no longer compiles or panics, without the cost of
@@ -68,9 +70,10 @@ bench-smoke:
 		$(GO) test -run xxx -bench 'BenchmarkSceneRender|BenchmarkPeriodogram|BenchmarkSweep$$|BenchmarkCampaignNarrowband' -benchtime 1x .
 
 # bench-regress re-times the wide CLI scan and the narrowband campaign,
-# failing if either regressed against its committed baseline
-# (BENCH_sweep.json at 20%, BENCH_campaign.json at 25% — the campaign adds
-# scoring/detection variance on top of the sweep). Fresh runs go to temp
+# printing old-vs-new ns/op with the percentage delta for each, and fails
+# (with the delta in the message) if either regressed against its committed
+# baseline (BENCH_sweep.json at 20%, BENCH_campaign.json at 25% — the
+# campaign adds scoring/detection variance on top of the sweep). Fresh runs go to temp
 # files via FASE_BENCH_OUT / FASE_BENCH_CAMPAIGN_OUT so the baselines are
 # only updated deliberately (run the benchmarks without those variables
 # and commit the result).
@@ -85,15 +88,15 @@ bench-regress:
 	rm -f $$fresh $$freshc; \
 	if [ -z "$$base" ] || [ -z "$$now" ]; then echo "bench-regress: missing sweep ns_per_op"; exit 1; fi; \
 	if [ -z "$$cbase" ] || [ -z "$$cnow" ]; then echo "bench-regress: missing campaign ns_per_op"; exit 1; fi; \
-	limit=$$((base * 120 / 100)); \
-	echo "bench-regress: sweep baseline $$base ns/op, fresh $$now ns/op, limit $$limit"; \
-	if [ "$$now" -gt "$$limit" ]; then \
-		echo "bench-regress: BenchmarkWideSweep regressed >20%"; exit 1; \
+	delta=$$(( (now - base) * 100 / base )); \
+	echo "bench-regress: BenchmarkWideSweep          $$base -> $$now ns/op ($$delta% vs baseline, limit +20%)"; \
+	cdelta=$$(( (cnow - cbase) * 100 / cbase )); \
+	echo "bench-regress: BenchmarkCampaignNarrowband $$cbase -> $$cnow ns/op ($$cdelta% vs baseline, limit +25%)"; \
+	if [ "$$now" -gt "$$((base * 120 / 100))" ]; then \
+		echo "bench-regress: FAIL BenchmarkWideSweep $$base -> $$now ns/op is +$$delta%, over the +20% gate"; exit 1; \
 	fi; \
-	climit=$$((cbase * 125 / 100)); \
-	echo "bench-regress: campaign baseline $$cbase ns/op, fresh $$cnow ns/op, limit $$climit"; \
-	if [ "$$cnow" -gt "$$climit" ]; then \
-		echo "bench-regress: BenchmarkCampaignNarrowband regressed >25%"; exit 1; \
+	if [ "$$cnow" -gt "$$((cbase * 125 / 100))" ]; then \
+		echo "bench-regress: FAIL BenchmarkCampaignNarrowband $$cbase -> $$cnow ns/op is +$$cdelta%, over the +25% gate"; exit 1; \
 	fi
 
 # accuracy runs the ground-truth harness (fase -verify): a 60-scenario

@@ -72,6 +72,12 @@ type Campaign struct {
 	// analyzer (see specan.Config.NoPlan). Planned and unplanned rendering
 	// are bit-identical; this is a debugging escape hatch.
 	NoPlan bool
+	// NoReuse disables the static render cache (specan.Config.ReuseStatic):
+	// every capture then re-renders its activity-independent components
+	// instead of replaying them from the campaign-scoped cache. Cached and
+	// uncached rendering are bit-identical; like NoPlan, this is a
+	// debugging escape hatch, not a result-changing switch.
+	NoReuse bool
 	// Faults, when non-nil, deterministically degrades the measurement
 	// chain (see emsim.FaultPlan): per-capture faults are applied by the
 	// campaign's analyzer, and FAltDriftPPM perturbs each sweep's
@@ -311,13 +317,18 @@ func (r *Runner) RunE(c Campaign) (*Result, error) {
 	if run != nil {
 		camp = run.Tracer.Begin("campaign")
 	}
-	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism, NoPlan: c.NoPlan, Faults: c.Faults, Obs: run})
+	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism,
+		NoPlan: c.NoPlan, ReuseStatic: !c.NoReuse, Faults: c.Faults, Obs: run})
 	res := &Result{Campaign: c}
 	falts := c.FAlts()
 	res.SimulatedSeconds = float64(len(falts)) * an.TotalDuration(c.F1, c.F2)
-	// The per-f_alt measurements are independent (each has its own seeds
-	// and activity trace), so they run concurrently. Results are written
-	// by index, keeping the output identical to a sequential run.
+	// The per-f_alt measurements are independent observations of the same
+	// noise realization: every sweep uses the campaign seed, so they share
+	// measurement noise and differ only in their activity trace. Shared
+	// noise cancels in the cross-measurement scoring (common-mode), and it
+	// is what lets the static render cache serve all NumAlts sweeps from
+	// one build. The sweeps run concurrently; results are written by
+	// index, keeping the output identical to a sequential run.
 	res.Measurements = make([]Measurement, len(falts))
 	endSweeps := run.Stage("sweeps")
 	sweepsSpan := camp.Child("sweeps")
@@ -336,7 +347,7 @@ func (r *Runner) RunE(c Campaign) (*Result, error) {
 			}, an.TotalDuration(c.F1, c.F2)+0.05)
 			sp := an.Sweep(specan.Request{
 				Scene: r.Scene, F1: c.F1, F2: c.F2, Activity: tr,
-				Seed:      c.Seed + int64(i)*15485863,
+				Seed:      c.Seed,
 				NearField: r.NearField, NearFieldGainDB: r.NearFieldGainDB,
 				Span: sweepsSpan,
 			})
@@ -406,6 +417,7 @@ type campaignConfig struct {
 	Seed        int64   `json:"seed"`
 	Parallelism int     `json:"parallelism"`
 	NoPlan      bool    `json:"no_plan"`
+	NoReuse     bool    `json:"no_reuse"`
 	// FaultsInjected flags runs whose measurement chain was degraded by a
 	// fault plan; their timings and detections are not comparable to
 	// clean runs.
@@ -422,7 +434,7 @@ func manifestConfig(c Campaign) campaignConfig {
 		MinScore: c.MinScore, SmoothBins: c.SmoothBins,
 		MergeBins: c.MergeBins, MinElevated: c.MinElevated,
 		X: c.X.String(), Y: c.Y.String(),
-		Seed: c.Seed, Parallelism: c.Parallelism, NoPlan: c.NoPlan,
+		Seed: c.Seed, Parallelism: c.Parallelism, NoPlan: c.NoPlan, NoReuse: c.NoReuse,
 		FaultsInjected: c.Faults != nil,
 	}
 }

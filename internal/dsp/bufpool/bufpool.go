@@ -73,3 +73,74 @@ func PutFloat(b []float64) {
 	b = b[:cap(b)]
 	floatPool.Put(&b)
 }
+
+// Arena is an owner-scoped buffer freelist. Unlike the process-wide
+// sync.Pools above — whose contents the garbage collector may drop
+// between sweeps — buffers returned to an Arena are retained for the
+// owner's lifetime, so a long campaign's captures stop allocating after
+// the first sweep regardless of GC pressure. The zero value is ready;
+// all methods are safe for concurrent use. Buffers come back dirty, same
+// as the package-level pools.
+type Arena struct {
+	mu       sync.Mutex
+	complexs [][]complex128
+	floats   [][]float64
+}
+
+// Complex returns a dirty []complex128 of length n, reusing a retained
+// buffer when one is large enough (undersized buffers are discarded — an
+// arena serves one capture geometry, so sizes only grow).
+func (a *Arena) Complex(n int) []complex128 {
+	a.mu.Lock()
+	for len(a.complexs) > 0 {
+		b := a.complexs[len(a.complexs)-1]
+		a.complexs = a.complexs[:len(a.complexs)-1]
+		if cap(b) >= n {
+			a.mu.Unlock()
+			complexHits.Inc()
+			return b[:n]
+		}
+	}
+	a.mu.Unlock()
+	complexMisses.Inc()
+	return make([]complex128, n)
+}
+
+// PutComplex retains a buffer for reuse. The caller must not use b
+// afterwards.
+func (a *Arena) PutComplex(b []complex128) {
+	if cap(b) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.complexs = append(a.complexs, b[:cap(b)])
+	a.mu.Unlock()
+}
+
+// Float returns a dirty []float64 of length n from the arena.
+func (a *Arena) Float(n int) []float64 {
+	a.mu.Lock()
+	for len(a.floats) > 0 {
+		b := a.floats[len(a.floats)-1]
+		a.floats = a.floats[:len(a.floats)-1]
+		if cap(b) >= n {
+			a.mu.Unlock()
+			floatHits.Inc()
+			return b[:n]
+		}
+	}
+	a.mu.Unlock()
+	floatMisses.Inc()
+	return make([]float64, n)
+}
+
+// PutFloat retains a buffer for reuse. The caller must not use b
+// afterwards.
+func (a *Arena) PutFloat(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.floats = append(a.floats, b[:cap(b)])
+	a.mu.Unlock()
+}

@@ -26,12 +26,11 @@ func AnalyticSignal(x []float64) []complex128 {
 	if n == 0 {
 		panic("demod: empty input")
 	}
+	// The forward transform runs on the real input directly (about half
+	// the complex transform's work); the inverse is necessarily complex —
+	// the analytic signal is not Hermitian.
 	buf := make([]complex128, n)
-	for i, v := range x {
-		buf[i] = complex(v, 0)
-	}
-	plan := fft.PlanFor(n)
-	plan.Forward(buf)
+	fft.PlanForReal(n).Forward(x, buf)
 	// Keep DC, double positive frequencies, zero negative frequencies.
 	// For even n the Nyquist bin (n/2) is kept unscaled.
 	half := n / 2
@@ -44,7 +43,7 @@ func AnalyticSignal(x []float64) []complex128 {
 	if n%2 == 1 && half >= 1 {
 		buf[half] *= 2
 	}
-	plan.Inverse(buf)
+	fft.PlanFor(n).Inverse(buf)
 	return buf
 }
 

@@ -30,8 +30,9 @@ type Plan struct {
 	n int
 
 	// Radix-2 state (used when n is a power of two).
-	twiddle []complex128 // n/2 forward twiddles
-	rev     []int        // bit-reversal permutation
+	twiddle    []complex128 // n/2 forward twiddles
+	twiddleInv []complex128 // conjugated twiddles for the inverse kernel
+	rev        []int        // bit-reversal permutation
 
 	// Bluestein state (used otherwise).
 	m       int          // convolution length (power of two >= 2n-1)
@@ -92,6 +93,10 @@ func (p *Plan) initRadix2() {
 		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
 		p.twiddle[k] = complex(c, s)
 	}
+	p.twiddleInv = make([]complex128, n/2)
+	for k, w := range p.twiddle {
+		p.twiddleInv[k] = complex(real(w), -imag(w))
+	}
 	p.rev = make([]int, n)
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
 	for i := range p.rev {
@@ -151,9 +156,7 @@ func (p *Plan) Forward(x []complex128) {
 func (p *Plan) Inverse(x []complex128) {
 	p.checkLen(x)
 	if p.twiddle != nil {
-		conjugate(x)
-		p.forwardPow2(x)
-		conjugate(x)
+		p.inversePow2(x)
 		scale(x, 1/float64(p.n))
 		return
 	}
@@ -181,6 +184,35 @@ func (p *Plan) forwardPow2(x []complex128) {
 			tw := 0
 			for k := start; k < start+half; k++ {
 				t := p.twiddle[tw] * x[k+half]
+				x[k+half] = x[k] - t
+				x[k] = x[k] + t
+				tw += step
+			}
+		}
+	}
+}
+
+// inversePow2 is the un-normalized inverse butterfly kernel. It is the
+// conjugate-twiddle mirror of forwardPow2 and produces bits identical to
+// conjugate → forwardPow2 → conjugate: complex multiplication by conj(w)
+// and complex addition both commute with conjugation component-exactly
+// (the real parts are the same IEEE expressions, the imaginary parts the
+// same expressions negated, and negation is exact), so the two conjugate
+// passes can be elided without perturbing a single ULP.
+func (p *Plan) inversePow2(x []complex128) {
+	n := len(x)
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				t := p.twiddleInv[tw] * x[k+half]
 				x[k+half] = x[k] - t
 				x[k] = x[k] + t
 				tw += step

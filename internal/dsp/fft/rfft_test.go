@@ -1,0 +1,180 @@
+package fft
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// maxAbs returns the largest magnitude in x, for scaling error tolerances.
+func maxAbs(x []complex128) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Hypot(real(v), imag(v)); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// checkRealAgainstComplex compares the RealPlan spectrum of x against the
+// complex plan run on a promoted copy, with a tolerance scaled by the
+// spectrum magnitude and transform length.
+func checkRealAgainstComplex(t *testing.T, x []float64) {
+	t.Helper()
+	n := len(x)
+	ref := make([]complex128, n)
+	for i, v := range x {
+		ref[i] = complex(v, 0)
+	}
+	PlanFor(n).Forward(ref)
+
+	got := make([]complex128, n)
+	PlanForReal(n).Forward(x, got)
+
+	tol := 1e-13 * float64(n) * (1 + maxAbs(ref))
+	for k := range ref {
+		if d := math.Hypot(real(got[k])-real(ref[k]), imag(got[k])-imag(ref[k])); d > tol {
+			t.Fatalf("n=%d bin %d: real-input FFT %v vs complex %v (|Δ|=%g, tol %g)",
+				n, k, got[k], ref[k], d, tol)
+		}
+	}
+}
+
+// TestRealPlanMatchesComplex cross-checks the packed real-input transform
+// against the complex plan on random inputs, covering power-of-two sizes
+// (pow2 half-plans), even non-pow2 sizes (Bluestein half-plans), odd sizes
+// (complex fallback), and the tiny-length edges.
+func TestRealPlanMatchesComplex(t *testing.T) {
+	r := rand.New(rand.NewSource(0xF5E))
+	for _, n := range []int{1, 2, 3, 4, 6, 8, 16, 20, 64, 81, 96, 100, 128, 250, 333, 1024, 1000} {
+		for trial := 0; trial < 4; trial++ {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = r.NormFloat64() * math.Exp(4*r.Float64()-2)
+			}
+			checkRealAgainstComplex(t, x)
+		}
+	}
+}
+
+// TestRealPlanSpecialInputs checks inputs whose spectra have exact known
+// structure: an impulse (flat spectrum) and a constant (DC only).
+func TestRealPlanSpecialInputs(t *testing.T) {
+	const n = 64
+	impulse := make([]float64, n)
+	impulse[0] = 1
+	out := make([]complex128, n)
+	PlanForReal(n).Forward(impulse, out)
+	for k, v := range out {
+		if math.Abs(real(v)-1) > 1e-12 || math.Abs(imag(v)) > 1e-12 {
+			t.Fatalf("impulse bin %d = %v, want 1", k, v)
+		}
+	}
+	dc := make([]float64, n)
+	for i := range dc {
+		dc[i] = 2.5
+	}
+	PlanForReal(n).Forward(dc, out)
+	if math.Abs(real(out[0])-2.5*n) > 1e-9 {
+		t.Fatalf("DC bin = %v, want %g", out[0], 2.5*float64(n))
+	}
+	for k := 1; k < n; k++ {
+		if math.Hypot(real(out[k]), imag(out[k])) > 1e-9 {
+			t.Fatalf("constant input: bin %d = %v, want 0", k, out[k])
+		}
+	}
+}
+
+// TestRealPlanHermitianSymmetry verifies the explicitly filled upper half
+// exactly mirrors the lower half: X[n−k] must be the bitwise conjugate of
+// X[k], because the upper bins are constructed by component negation.
+func TestRealPlanHermitianSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{8, 12, 64, 96} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		out := make([]complex128, n)
+		PlanForReal(n).Forward(x, out)
+		for k := 1; k < n/2; k++ {
+			want := complex(real(out[k]), -imag(out[k]))
+			if out[n-k] != want {
+				t.Fatalf("n=%d: bin %d = %v, want exact conj of bin %d = %v", n, n-k, out[n-k], k, out[k])
+			}
+		}
+		if imag(out[0]) != 0 {
+			t.Fatalf("n=%d: DC bin has imaginary part %g", n, imag(out[0]))
+		}
+		if n%2 == 0 && imag(out[n/2]) != 0 {
+			t.Fatalf("n=%d: Nyquist bin has imaginary part %g", n, imag(out[n/2]))
+		}
+	}
+}
+
+// TestInversePow2BitIdentical pins the conjugate-twiddle inverse kernel to
+// the conjugate → forward → conjugate formulation it replaced: the two
+// must agree bit for bit, because Plan.Inverse sits on the golden-pinned
+// Background render path.
+func TestInversePow2BitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, n := range []int{2, 8, 64, 1024, 4096} {
+		p := PlanFor(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		ref := make([]complex128, n)
+		copy(ref, x)
+		// Reference: the elided-conjugate formulation.
+		conjugate(ref)
+		p.forwardPow2(ref)
+		conjugate(ref)
+		scale(ref, 1/float64(n))
+
+		p.Inverse(x)
+		for i := range x {
+			if rb, ib := math.Float64bits(real(x[i])), math.Float64bits(imag(x[i])); rb != math.Float64bits(real(ref[i])) || ib != math.Float64bits(imag(ref[i])) {
+				t.Fatalf("n=%d sample %d: inversePow2 %v != reference %v", n, i, x[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestRealPlanLengthMismatchPanics pins the guard against mismatched
+// buffer lengths.
+func TestRealPlanLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	PlanForReal(8).Forward(make([]float64, 8), make([]complex128, 4))
+}
+
+// FuzzRFFT feeds arbitrary byte strings as real sample streams through
+// both the real-input and the promoted-complex transforms and requires
+// agreement, covering every length class the corpus reaches (pow2,
+// Bluestein-even, odd).
+func FuzzRFFT(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(make([]byte, 64*8))
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f, 0x01, 0xfe, 0x55, 0xaa, 0x13})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 8
+		if n == 0 || n > 2048 {
+			t.Skip()
+		}
+		x := make([]float64, n)
+		for i := range x {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				v = float64(i%17) - 8
+			}
+			x[i] = v
+		}
+		checkRealAgainstComplex(t, x)
+	})
+}

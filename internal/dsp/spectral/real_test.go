@@ -1,0 +1,57 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fase/internal/dsp/window"
+)
+
+// TestRealPeriodogramMatchesComplex cross-checks the real-input
+// periodogram against the complex path on promoted input: same geometry,
+// same bin powers to numerical tolerance, for pow2 and non-pow2 sizes.
+func TestRealPeriodogramMatchesComplex(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{8, 64, 100, 250, 256, 1024} {
+		x := make([]float64, n)
+		xc := make([]complex128, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			xc[i] = complex(x[i], 0)
+		}
+		got := RealPeriodogram(x, 1e4, 5e3, window.Hann)
+		want := Periodogram(xc, 1e4, 5e3, window.Hann)
+		if got.F0 != want.F0 || got.Fres != want.Fres || got.Bins() != want.Bins() {
+			t.Fatalf("n=%d: geometry (%g, %g, %d) != (%g, %g, %d)",
+				n, got.F0, got.Fres, got.Bins(), want.F0, want.Fres, want.Bins())
+		}
+		var peak float64
+		for _, p := range want.PmW {
+			peak = math.Max(peak, p)
+		}
+		for k := range got.PmW {
+			if d := math.Abs(got.PmW[k] - want.PmW[k]); d > 1e-12*peak {
+				t.Errorf("n=%d bin %d: real %g vs complex %g", n, k, got.PmW[k], want.PmW[k])
+			}
+		}
+	}
+}
+
+// TestRealPeriodogramTone pins calibration: a real tone of amplitude A
+// splits its A² power between the ±f bins, so each reads (A/2)².
+func TestRealPeriodogramTone(t *testing.T) {
+	const n, fs = 4096, 1e4
+	const f, amp = 1250.0, 0.5 // exactly on a bin
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = amp * math.Cos(2*math.Pi*f*float64(i)/fs)
+	}
+	s := RealPeriodogram(x, fs, 0, window.BlackmanHarris)
+	for _, want := range []float64{f, -f} {
+		got := s.PmW[s.Index(want)]
+		if d := math.Abs(got - amp*amp/4); d > 1e-3*amp*amp/4 {
+			t.Errorf("tone at %g Hz reads %g mW, want %g", want, got, amp*amp/4)
+		}
+	}
+}

@@ -145,6 +145,12 @@ type Capture struct {
 	// (their child-seed draw is still consumed, so output is bit-identical)
 	// and active components receive their prepared state via Context.Prep.
 	Plan *RenderPlan
+	// Static, when non-nil, is the cached activity-independent layer built
+	// by Scene.BuildStaticSet for this exact capture identity (band, n,
+	// start, seed, probe): components the set covers are replayed from
+	// their cached addend streams instead of re-rendered. Replay is
+	// bit-identical to live rendering (see StaticRenderer).
+	Static *StaticSet
 }
 
 // renderScratch holds the per-capture PRNG and context state RenderInto
@@ -211,19 +217,33 @@ func (s *Scene) RenderInto(dst []complex128, cap Capture) {
 		plan.check(cap, len(s.Components))
 		renderSkips.Add(int64(plan.ncomp - plan.nactive))
 	}
+	static := cap.Static
+	if static != nil {
+		static.check(cap, len(s.Components))
+	}
 	capturesRendered.Inc()
 	for i, c := range s.Components {
 		// Each component draws from its own child stream (same derivation
 		// as seeding a fresh generator with root.Int63()). The draw happens
-		// even for components the plan skips, so every component's stream —
-		// and therefore the rendered output — is independent of the plan.
-		sc.child.Seed(sc.root.Int63())
+		// even for components the plan skips or the static set replays, so
+		// every component's stream — and therefore the rendered output —
+		// is independent of both. Actually seeding the child is deferred
+		// until a component renders: rand.Seed walks the generator's whole
+		// 607-word state, which costs more than replaying a cached layer.
+		seed := sc.root.Int63()
 		if plan != nil {
 			if !plan.active[i] {
 				continue
 			}
 			sc.ctx.Prep = plan.prep[i]
 		}
+		if static != nil && static.comps[i] != nil {
+			static.replay(dst, i)
+			staticReplays.Inc()
+			sc.ctx.Prep = nil
+			continue
+		}
+		sc.child.Seed(seed)
 		sc.ctx.Rand = sc.child
 		c.Render(dst, &sc.ctx)
 		sc.ctx.Prep = nil

@@ -75,6 +75,16 @@ func (a *AMStation) Prepare(Band, int) any {
 	return &t
 }
 
+// StaticTerms implements StaticRenderer: broadcast program audio is not
+// program activity — the station renders identically for every
+// alternation scan, adding one carrier×envelope value per sample.
+func (a *AMStation) StaticTerms(band Band, _ int) (int, bool) {
+	if !band.Contains(a.Freq) {
+		return 0, true
+	}
+	return 1, true
+}
+
 // Render implements Component: carrier × (1 + depth·audio(t)), where the
 // audio is a random mixture of low-frequency tones (program content).
 // The carrier offset and the audio tones all advance by a fixed phase per
@@ -113,7 +123,28 @@ func (a *AMStation) Render(dst []complex128, ctx *Context) {
 	r1 := sig.NewRotator(2*math.Pi*tones[1].f*ctx.Start+phases[1], 2*math.Pi*tones[1].f*dt)
 	r2 := sig.NewRotator(2*math.Pi*tones[2].f*ctx.Start+phases[2], 2*math.Pi*tones[2].f*dt)
 	a0, a1, a2 := tones[0].amp, tones[1].amp, tones[2].amp
-	for i := range dst {
+	// Four samples per iteration via the batched rotator stride: one
+	// renormalization check per rotator per four samples, with the phasors
+	// held in registers across the unrolled block. Next4 produces bits
+	// identical to four Next calls, and the per-sample envelope expression
+	// keeps the scalar loop's association, so output is unchanged.
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		t00, t01, t02, t03 := r0.Next4()
+		t10, t11, t12, t13 := r1.Next4()
+		t20, t21, t22, t23 := r2.Next4()
+		c0, c1, c2, c3 := car.Next4()
+		env := amp * (1 + depth*(a0*imag(t00)+a1*imag(t10)+a2*imag(t20)))
+		dst[i] += complex(env*real(c0), env*imag(c0))
+		env = amp * (1 + depth*(a0*imag(t01)+a1*imag(t11)+a2*imag(t21)))
+		dst[i+1] += complex(env*real(c1), env*imag(c1))
+		env = amp * (1 + depth*(a0*imag(t02)+a1*imag(t12)+a2*imag(t22)))
+		dst[i+2] += complex(env*real(c2), env*imag(c2))
+		env = amp * (1 + depth*(a0*imag(t03)+a1*imag(t13)+a2*imag(t23)))
+		dst[i+3] += complex(env*real(c3), env*imag(c3))
+	}
+	for ; i < n; i++ {
 		audio := a0 * imag(r0.Next())
 		audio += a1 * imag(r1.Next())
 		audio += a2 * imag(r2.Next())
@@ -150,6 +181,16 @@ func (s *FMStation) BandExtent() Extent { return Lines(s.Freq) }
 func (s *FMStation) Prepare(Band, int) any {
 	t := deriveTones(s.AudioSeed^int64(s.Freq), 7000)
 	return &t
+}
+
+// StaticTerms implements StaticRenderer: like the AM band, FM program
+// audio is independent of the micro-benchmark, and the station adds one
+// value per sample.
+func (s *FMStation) StaticTerms(band Band, _ int) (int, bool) {
+	if !band.Contains(s.Freq) {
+		return 0, true
+	}
+	return 1, true
 }
 
 // Render implements Component. The audio tones are synthesized by phasor
@@ -259,6 +300,11 @@ func (b *Background) Prepare(band Band, n int) any {
 	return &bgPrep{sd: sd}
 }
 
+// StaticTerms implements StaticRenderer: the noise floor and its hills
+// are environmental — activity never shapes them — and the synthesized
+// noise is added to dst in a single pass.
+func (b *Background) StaticTerms(Band, int) (int, bool) { return 1, true }
+
 // Render implements Component.
 func (b *Background) Render(dst []complex128, ctx *Context) {
 	n := ctx.N
@@ -268,18 +314,28 @@ func (b *Background) Render(dst []complex128, ctx *Context) {
 	fres := fs / float64(n)
 	r := ctx.Rand
 	spec := bufpool.Complex(n)
+	// Fill bins directly in post-ifftshift (FFT) order: ascending-frequency
+	// bin k lands at (k + n − n/2) mod n, so writing there up front is the
+	// exact index permutation fft.InverseShift would apply — same values,
+	// same noise-draw order, no rotate pass over the buffer.
+	j := n - n/2
 	if pre, ok := ctx.Prep.(*bgPrep); ok && len(pre.sd) == n {
 		for k := range spec {
 			sd := pre.sd[k]
-			spec[k] = complex(sd*r.NormFloat64(), sd*r.NormFloat64())
+			spec[j] = complex(sd*r.NormFloat64(), sd*r.NormFloat64())
+			if j++; j == n {
+				j = 0
+			}
 		}
 	} else {
-		for k := range spec {
+		for k := 0; k < n; k++ {
 			sd := b.binSD(f0, fres, fs, n, k)
-			spec[k] = complex(sd*r.NormFloat64(), sd*r.NormFloat64())
+			spec[j] = complex(sd*r.NormFloat64(), sd*r.NormFloat64())
+			if j++; j == n {
+				j = 0
+			}
 		}
 	}
-	fft.InverseShift(spec) // from ascending-frequency to FFT bin order
 	plan.Inverse(spec)
 	for i := range dst {
 		dst[i] += spec[i]

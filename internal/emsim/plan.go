@@ -95,6 +95,12 @@ type RenderPlan struct {
 	nactive int
 	active  []bool
 	prep    []any
+	// Activity classification (see StaticRenderer): staticTerms[i] is the
+	// per-sample addend count of component i when it is active and
+	// activity-independent for this geometry, 0 otherwise. BuildStaticSet
+	// consumes it so classification runs once per segment, not per capture.
+	staticTerms []int
+	nstatic     int
 }
 
 // Planner counters: how many plans were built and, across all of them,
@@ -114,11 +120,12 @@ var (
 // prepared state reproduces exactly what Render would compute inline.
 func (s *Scene) Plan(band Band, n int) *RenderPlan {
 	p := &RenderPlan{
-		band:   band,
-		n:      n,
-		ncomp:  len(s.Components),
-		active: make([]bool, len(s.Components)),
-		prep:   make([]any, len(s.Components)),
+		band:        band,
+		n:           n,
+		ncomp:       len(s.Components),
+		active:      make([]bool, len(s.Components)),
+		prep:        make([]any, len(s.Components)),
+		staticTerms: make([]int, len(s.Components)),
 	}
 	for i, c := range s.Components {
 		act := true
@@ -133,6 +140,10 @@ func (s *Scene) Plan(band Band, n int) *RenderPlan {
 		if pp, ok := c.(Prepper); ok {
 			p.prep[i] = pp.Prepare(band, n)
 		}
+		if terms, ok := classifyStatic(c, band, n); ok {
+			p.staticTerms[i] = terms
+			p.nstatic++
+		}
 	}
 	plansBuilt.Inc()
 	planActive.Add(int64(p.nactive))
@@ -145,6 +156,10 @@ func (p *RenderPlan) Active(i int) bool { return p.active[i] }
 
 // ActiveCount returns how many of the scene's components the plan renders.
 func (p *RenderPlan) ActiveCount() int { return p.nactive }
+
+// StaticCount returns how many active components the plan classified as
+// activity-independent (cacheable in a StaticSet) for this geometry.
+func (p *RenderPlan) StaticCount() int { return p.nstatic }
 
 // check panics if the plan was computed for a different capture geometry
 // or component list than the one being rendered.

@@ -1,0 +1,228 @@
+package emsim
+
+import (
+	"fmt"
+
+	"fase/internal/obs"
+)
+
+// StaticRenderer is the activity-classification capability: a component
+// that can report, for a given capture geometry, that its rendered
+// contribution does not depend on the program-activity trace. Such a
+// component's output is a pure function of (band, n, start, seed, probe),
+// so one rendering can be cached and replayed across every alternation
+// scan of a campaign — the scans share capture seeds and differ only in
+// activity.
+//
+// The contract is exact, not approximate: replay must reproduce the
+// unplanned render bit for bit. Because float addition is not
+// associative, the classification must also describe *how* the component
+// touches dst — the term count below is the number of += operations the
+// component applies to each sample, and replay re-applies the cached
+// addend streams in the same order, preserving the accumulation chain
+// (((dst+t₀)+t₁)+…) exactly.
+type StaticRenderer interface {
+	Component
+	// StaticTerms returns (terms, true) when the component's contribution
+	// to captures of n samples in band is independent of the activity
+	// trace, where terms is the number of += operations Render applies to
+	// each sample of dst (its in-band line count for comb renderers, 1 for
+	// single-carrier and noise sources). (0, true) means the component is
+	// activity-independent but contributes nothing in this band. Any
+	// activity dependence must return ok == false.
+	StaticTerms(band Band, n int) (terms int, ok bool)
+}
+
+// StaticTermRenderer must additionally be implemented by StaticRenderers
+// that apply more than one += per sample (multi-line comb renderers):
+// replaying their summed contribution as a single addition would
+// reassociate the accumulation, so the build captures each addend stream
+// separately instead.
+type StaticTermRenderer interface {
+	StaticRenderer
+	// RenderStaticTerms writes the component's addend streams: terms[t][i]
+	// must be exactly the t-th value Render would have added to sample i
+	// (terms has the length StaticTerms reported). It must draw from
+	// ctx.Rand precisely as Render does.
+	RenderStaticTerms(terms [][]complex128, ctx *Context)
+}
+
+// StaticSet is the cached activity-independent layer of one capture: the
+// addend streams of every static-classified component, keyed by the full
+// capture identity (geometry, start time, seed, probe placement). It is
+// immutable after BuildStaticSet returns and safe to share between
+// concurrent RenderInto calls.
+type StaticSet struct {
+	band            Band
+	start           float64
+	n               int
+	seed            int64
+	nearField       bool
+	nearFieldGainDB float64
+	ncomp           int
+	// comps[i] holds component i's addend streams; nil means the component
+	// is rendered live (dynamic, inactive, or contributing zero terms).
+	comps  [][][]complex128
+	cached int
+}
+
+// Static-layer counters: components captured into static sets and
+// component renders replaced by replays. The cache-level hit/miss pair
+// lives with the cache owner in package specan.
+var (
+	staticComponents = obs.Default.Counter(obs.MetricStaticComponents)
+	staticReplays    = obs.Default.Counter(obs.MetricStaticReplays)
+)
+
+// Components reports how many components the set caches.
+func (st *StaticSet) Components() int { return st.cached }
+
+// classifyStatic resolves a component's static classification for one
+// geometry: its declared addend count, gated on the replay machinery
+// actually being able to reproduce it (multi-addend components must
+// implement StaticTermRenderer).
+func classifyStatic(c Component, band Band, n int) (int, bool) {
+	sr, ok := c.(StaticRenderer)
+	if !ok {
+		return 0, false
+	}
+	terms, static := sr.StaticTerms(band, n)
+	if !static || terms <= 0 {
+		return 0, false
+	}
+	if terms > 1 {
+		if _, ok := c.(StaticTermRenderer); !ok {
+			return 0, false
+		}
+	}
+	return terms, true
+}
+
+// BuildStaticSet renders the activity-independent layer of the capture:
+// every component the capture's plan (or, without a plan, a direct extent
+// test) leaves active and that classifies itself static has its addend
+// streams rendered standalone, consuming exactly the child-seed draws
+// RenderInto would. cap.Activity is ignored — the build renders against a
+// nil trace, so a misclassified component diverges from the live render
+// immediately rather than matching one scan's activity by accident.
+// Returns nil when no component qualifies.
+func (s *Scene) BuildStaticSet(cap Capture) *StaticSet {
+	if cap.N <= 0 || cap.Band.SampleRate <= 0 {
+		panic(fmt.Sprintf("emsim: invalid static-set capture geometry %+v", cap.Band))
+	}
+	plan := cap.Plan
+	if plan != nil {
+		plan.check(cap, len(s.Components))
+	}
+	// First pass, geometry only: classify and size the arena so every
+	// addend stream comes out of one allocation. A plan carries the
+	// classification precomputed per segment.
+	layout := make([]int, len(s.Components))
+	total, cached := 0, 0
+	for i, c := range s.Components {
+		var terms int
+		if plan != nil {
+			terms = plan.staticTerms[i]
+		} else if t, ok := classifyStatic(c, cap.Band, cap.N); ok {
+			terms = t
+		}
+		if terms == 0 {
+			continue
+		}
+		layout[i] = terms
+		total += terms
+		cached++
+	}
+	if cached == 0 {
+		return nil
+	}
+	st := &StaticSet{
+		band:            cap.Band,
+		start:           cap.Start,
+		n:               cap.N,
+		seed:            cap.Seed,
+		nearField:       cap.NearField,
+		nearFieldGainDB: cap.NearFieldGainDB,
+		ncomp:           len(s.Components),
+		comps:           make([][][]complex128, len(s.Components)),
+	}
+	arena := make([]complex128, total*cap.N)
+	// Second pass: the same root-stream walk as RenderInto, rendering the
+	// classified components' addend streams.
+	sc := scratchPool.Get().(*renderScratch)
+	sc.root.Seed(cap.Seed)
+	sc.ctx = Context{
+		Band:            cap.Band,
+		Start:           cap.Start,
+		N:               cap.N,
+		NearField:       cap.NearField,
+		NearFieldGainDB: cap.NearFieldGainDB,
+	}
+	for i, c := range s.Components {
+		seed := sc.root.Int63()
+		terms := layout[i]
+		if terms == 0 {
+			continue
+		}
+		sc.child.Seed(seed)
+		tvs := make([][]complex128, terms)
+		for t := range tvs {
+			tvs[t], arena = arena[:cap.N:cap.N], arena[cap.N:]
+		}
+		if plan != nil {
+			sc.ctx.Prep = plan.prep[i]
+		}
+		sc.ctx.Rand = sc.child
+		if terms == 1 {
+			// Single-addend components render straight into the zeroed
+			// stream: 0 + t == t for every addend a renderer produces.
+			c.Render(tvs[0], &sc.ctx)
+		} else {
+			c.(StaticTermRenderer).RenderStaticTerms(tvs, &sc.ctx)
+		}
+		sc.ctx.Prep = nil
+		st.comps[i] = tvs
+	}
+	sc.ctx.Rand = nil
+	scratchPool.Put(sc)
+	st.cached = cached
+	staticComponents.Add(int64(cached))
+	return st
+}
+
+// replay adds component i's cached addend streams to dst. Adding the
+// streams one after another reproduces the live render's per-sample
+// accumulation chain exactly: the t-th pass leaves dst[j] holding
+// (((dst₀[j]+t₀[j])+t₁[j])+…+t_t[j]), the same association Render builds
+// in its harmonic loop.
+// Four streams are folded per pass: each dst[j] still receives its
+// additions in ascending term order, so the arithmetic is unchanged —
+// blocking only cuts the number of times dst streams through memory.
+func (st *StaticSet) replay(dst []complex128, i int) {
+	tvs := st.comps[i]
+	k := 0
+	for ; k+4 <= len(tvs); k += 4 {
+		t0, t1, t2, t3 := tvs[k], tvs[k+1], tvs[k+2], tvs[k+3]
+		for j := range dst {
+			dst[j] = dst[j] + t0[j] + t1[j] + t2[j] + t3[j]
+		}
+	}
+	for ; k < len(tvs); k++ {
+		for j, v := range tvs[k] {
+			dst[j] += v
+		}
+	}
+}
+
+// check panics if the set was built for a different capture identity than
+// the one being rendered — replaying across seeds, start times, or probe
+// placements would silently corrupt output, so geometry mismatches are
+// programming errors.
+func (st *StaticSet) check(cap Capture, ncomp int) {
+	if st.band != cap.Band || st.n != cap.N || st.start != cap.Start || st.seed != cap.Seed ||
+		st.nearField != cap.NearField || st.nearFieldGainDB != cap.NearFieldGainDB || st.ncomp != ncomp {
+		panic(fmt.Sprintf(
+			"emsim: static set for band %+v n=%d start=%g seed=%d used with band %+v n=%d start=%g seed=%d",
+			st.band, st.n, st.start, st.seed, cap.Band, cap.N, cap.Start, cap.Seed))
+	}
+}

@@ -89,6 +89,69 @@ func lineExtent(f0 float64, maxN, first, stride int) emsim.Extent {
 	return emsim.Extent{Spans: spans}
 }
 
+// renderFixedComb accumulates a fixed-amplitude harmonic comb — the
+// crystal-clock inner loop — into dst, harmonic-major: groups of up to
+// four phasors advance across sample tiles with their state held in
+// registers, instead of every phasor making a memory round trip per
+// sample. Output is bit-identical to the sample-major loop it replaces:
+// per sample, the addends still join dst[i]'s accumulation chain in
+// ascending-harmonic order (group passes store partial chains that the
+// next pass extends — float addition is applied in the same left-to-right
+// order), and each phasor sees the same multiply sequence with
+// renormalization at the same global sample positions, because the tile
+// length is a multiple of the renorm period and tiles start aligned.
+func renderFixedComb(dst []complex128, z, step []complex128, amp []float64) {
+	const tile = 4 * sig.RotatorRenorm
+	n := len(dst)
+	for t0 := 0; t0 < n; t0 += tile {
+		t1 := t0 + tile
+		if t1 > n {
+			t1 = n
+		}
+		seg := dst[t0:t1]
+		k := 0
+		for ; k+4 <= len(z); k += 4 {
+			z0, z1, z2, z3 := z[k], z[k+1], z[k+2], z[k+3]
+			s0, s1, s2, s3 := step[k], step[k+1], step[k+2], step[k+3]
+			a0, a1, a2, a3 := amp[k], amp[k+1], amp[k+2], amp[k+3]
+			rn := 0
+			for i := range seg {
+				acc := seg[i]
+				acc += complex(a0*real(z0), a0*imag(z0))
+				z0 *= s0
+				acc += complex(a1*real(z1), a1*imag(z1))
+				z1 *= s1
+				acc += complex(a2*real(z2), a2*imag(z2))
+				z2 *= s2
+				acc += complex(a3*real(z3), a3*imag(z3))
+				z3 *= s3
+				seg[i] = acc
+				if rn++; rn >= sig.RotatorRenorm {
+					rn = 0
+					z0 = sig.Renormalize(z0)
+					z1 = sig.Renormalize(z1)
+					z2 = sig.Renormalize(z2)
+					z3 = sig.Renormalize(z3)
+				}
+			}
+			z[k], z[k+1], z[k+2], z[k+3] = z0, z1, z2, z3
+		}
+		for ; k < len(z); k++ {
+			zk, sk, ak := z[k], step[k], amp[k]
+			rn := 0
+			for i := range seg {
+				seg[i] += complex(ak*real(zk), ak*imag(zk))
+				zk *= sk
+				if rn++; rn >= sig.RotatorRenorm {
+					rn = 0
+					zk = sig.Renormalize(zk)
+				}
+			}
+			z[k] = zk
+		}
+	}
+}
+
 // nearGain converts the context's near-field probe setting into a linear
 // amplitude factor for system emitters.
 func nearGain(ctx *emsim.Context) float64 {
@@ -623,6 +686,99 @@ func (g *SSCClock) Prepare(band emsim.Band, _ int) any {
 	return p
 }
 
+// StaticTerms implements emsim.StaticRenderer: the clock's emission is
+// activity-independent exactly when the activity envelope cannot move —
+// either no modulating domain (Dom == DomainNone makes the load term read
+// zero for every trace) or a unit idle fraction (the load term has a zero
+// coefficient). In both cases Render's per-sample envelope expression
+// reduces to the constant IdleFrac, so the swept comb is a pure function
+// of the capture identity.
+func (g *SSCClock) StaticTerms(band emsim.Band, _ int) (int, bool) {
+	if g.Dom != activity.DomainNone && g.IdleFrac != 1 {
+		return 0, false
+	}
+	terms := 0
+	for n := 1; n <= g.MaxHarmonics; n += 2 {
+		if g.sscInBand(band, n) {
+			terms++
+		}
+	}
+	return terms, true
+}
+
+// RenderStaticTerms implements emsim.StaticTermRenderer. It mirrors Render
+// — same ssc.Start draws, same sweep chain, same renorm schedule — with
+// the envelope fixed at the constant value Render's expression evaluates
+// to in the static cases (IdleFrac + (1−IdleFrac)·0 ≡ IdleFrac, and
+// 1 + 0·load ≡ 1 ≡ IdleFrac when IdleFrac == 1), writing each harmonic's
+// addend stream instead of accumulating into dst.
+func (g *SSCClock) RenderStaticTerms(terms [][]complex128, ctx *emsim.Context) {
+	cs := combPool.Get().(*combScratch)
+	defer combPool.Put(cs)
+	pre, _ := ctx.Prep.(*combPrep)
+	var ns []int
+	if pre != nil {
+		ns = pre.ns
+	} else {
+		scan := cs.ns[:0]
+		for n := 1; n <= g.MaxHarmonics; n += 2 {
+			if g.sscInBand(ctx.Band, n) {
+				scan = append(scan, n)
+			}
+		}
+		cs.ns = scan
+		ns = scan
+	}
+	if len(terms) != len(ns) {
+		panic(fmt.Sprintf("machine: clock %q has %d in-band harmonics, %d term streams", g.Label, len(ns), len(terms)))
+	}
+	if len(ns) == 0 {
+		return
+	}
+	r := ctx.Rand
+	dt := ctx.Dt()
+	a0 := math.Sqrt(math.Pow(10, g.FundamentalDBm/10)) * nearGain(ctx)
+	ssc := sig.SSC{F0: g.F0, SpreadHz: g.SpreadHz, RateHz: g.RateHz, Profile: g.Profile}
+	ssc.Start(r)
+	cs.grow(len(ns))
+	z, fpow, amp := cs.z, cs.wpow, cs.amp
+	stepStatic := cs.stepStatic
+	if pre != nil {
+		stepStatic = pre.stepStatic
+	}
+	env := g.IdleFrac
+	for k, n := range ns {
+		fn := float64(n)
+		s, c := math.Sincos(wrapPhase(fn * ssc.Phase()))
+		z[k] = complex(c, s)
+		if pre == nil {
+			s, c = math.Sincos(2 * math.Pi * (fn*g.F0 - ctx.Band.Center) * dt)
+			stepStatic[k] = complex(c, s)
+		}
+		fpow[k] = 1
+		amp[k] = a0 * env / float64(n)
+	}
+	spread := g.SpreadHz != 0
+	renorm := 0
+	for i := 0; i < ctx.N; i++ {
+		if spread {
+			fs2, fc2 := math.Sincos(2 * math.Pi * (ssc.Freq() - g.F0) * dt)
+			sig.PowChain(fpow, ns, complex(fc2, fs2))
+		}
+		for k := range ns {
+			terms[k][i] = complex(amp[k]*real(z[k]), amp[k]*imag(z[k]))
+			z[k] *= stepStatic[k] * fpow[k]
+		}
+		ssc.Step(dt, 0)
+		if renorm++; renorm >= sig.RotatorRenorm {
+			renorm = 0
+			for k := range z {
+				z[k] = sig.Renormalize(z[k])
+			}
+		}
+	}
+}
+
 // Render implements emsim.Component.
 func (g *SSCClock) Render(dst []complex128, ctx *emsim.Context) {
 	// Collect odd harmonics whose swept range intersects the band.
@@ -757,6 +913,126 @@ func (g *UnmodulatedClock) Prepare(band emsim.Band, _ int) any {
 	return prepComb(band, g.F0, g.MaxHarmonics, 1, 2)
 }
 
+// StaticTerms implements emsim.StaticRenderer: the clock never reads the
+// activity trace — wander draws only from the capture PRNG — so its whole
+// comb is activity-independent, one addend per in-band odd harmonic.
+func (g *UnmodulatedClock) StaticTerms(band emsim.Band, _ int) (int, bool) {
+	terms := 0
+	for n := 1; n <= g.MaxHarmonics; n += 2 {
+		if band.Contains(float64(n) * g.F0) {
+			terms++
+		}
+	}
+	return terms, true
+}
+
+// RenderStaticTerms implements emsim.StaticTermRenderer. It mirrors Render
+// step for step — same PRNG draws, same phasor updates, same renorm
+// schedule — but writes each harmonic's addend stream instead of summing
+// into dst, so replaying the streams in order rebuilds Render's exact
+// accumulation chain.
+func (g *UnmodulatedClock) RenderStaticTerms(terms [][]complex128, ctx *emsim.Context) {
+	cs := combPool.Get().(*combScratch)
+	defer combPool.Put(cs)
+	pre, _ := ctx.Prep.(*combPrep)
+	var ns []int
+	if pre != nil {
+		ns = pre.ns
+	} else {
+		scan := cs.ns[:0]
+		for n := 1; n <= g.MaxHarmonics; n += 2 {
+			if ctx.Band.Contains(float64(n) * g.F0) {
+				scan = append(scan, n)
+			}
+		}
+		cs.ns = scan
+		ns = scan
+	}
+	if len(terms) != len(ns) {
+		panic(fmt.Sprintf("machine: clock %q has %d in-band harmonics, %d term streams", g.Label, len(ns), len(terms)))
+	}
+	if len(ns) == 0 {
+		return
+	}
+	r := ctx.Rand
+	dt := ctx.Dt()
+	a0 := math.Sqrt(math.Pow(10, g.FundamentalDBm/10))
+	wander := sig.OU{Sigma: g.WanderSigma, Tau: g.WanderTau}
+	wander.Init(r)
+	base := 2 * math.Pi * r.Float64()
+	cs.grow(len(ns))
+	z, wpow, amp := cs.z, cs.wpow, cs.amp
+	stepStatic := cs.stepStatic
+	if pre != nil {
+		stepStatic = pre.stepStatic
+	}
+	for k, n := range ns {
+		fn := float64(n)
+		s, c := math.Sincos(wrapPhase(fn * base))
+		z[k] = complex(c, s)
+		if pre == nil {
+			s, c = math.Sincos(2 * math.Pi * (fn*g.F0 - ctx.Band.Center) * dt)
+			stepStatic[k] = complex(c, s)
+		}
+		wpow[k] = 1
+		amp[k] = a0 / float64(n)
+	}
+	if g.WanderSigma == 0 {
+		// Crystal clock: the harmonics never interact, so each addend
+		// stream renders start to finish with its phasor in registers. The
+		// per-harmonic multiply/renorm sequence is exactly Render's.
+		for k := range z {
+			tv := terms[k]
+			zk, sk, ak := z[k], stepStatic[k], amp[k]
+			rn := 0
+			for i := range tv {
+				tv[i] = complex(ak*real(zk), ak*imag(zk))
+				zk *= sk
+				if rn++; rn >= sig.RotatorRenorm {
+					rn = 0
+					zk = sig.Renormalize(zk)
+				}
+			}
+		}
+		return
+	}
+	renorm := 0
+	for i := 0; i < ctx.N; i++ {
+		df := wander.Step(dt, r)
+		if df != 0 {
+			ws, wc := math.Sincos(2 * math.Pi * df * dt)
+			w := complex(wc, ws)
+			cur := complex(1, 0)
+			m := 0
+			for k := range z {
+				d := ns[k] - m
+				if d < 8 {
+					for ; d > 0; d-- {
+						cur *= w
+					}
+				} else {
+					cur *= sig.Ipow(w, d)
+				}
+				m = ns[k]
+				zk := z[k]
+				terms[k][i] = complex(amp[k]*real(zk), amp[k]*imag(zk))
+				z[k] = zk * (stepStatic[k] * cur)
+			}
+		} else {
+			for k := range z {
+				terms[k][i] = complex(amp[k]*real(z[k]), amp[k]*imag(z[k]))
+				z[k] *= stepStatic[k] * wpow[k]
+			}
+		}
+		if renorm++; renorm >= sig.RotatorRenorm {
+			renorm = 0
+			for k := range z {
+				z[k] = sig.Renormalize(z[k])
+			}
+		}
+	}
+}
+
 // Render implements emsim.Component.
 func (g *UnmodulatedClock) Render(dst []complex128, ctx *emsim.Context) {
 	cs := combPool.Get().(*combScratch)
@@ -813,25 +1089,9 @@ func (g *UnmodulatedClock) Render(dst []complex128, ctx *emsim.Context) {
 	if g.WanderSigma == 0 {
 		// Crystal clock: no wander process to step (Step draws nothing and
 		// returns 0 for Sigma == 0) and wpow stays the identity, so the
-		// sample loop is a bare rotate-and-accumulate. The sample's terms
-		// sum into a local in the same ascending-k order dst[i] would
-		// accumulate them (bit-identical), keeping the accumulator in a
-		// register — the compiler cannot do this itself because the z
-		// stores might alias dst.
-		for i := range dst {
-			acc := dst[i]
-			for k := range z {
-				acc += complex(amp[k]*real(z[k]), amp[k]*imag(z[k]))
-				z[k] *= stepStatic[k]
-			}
-			dst[i] = acc
-			if renorm++; renorm >= sig.RotatorRenorm {
-				renorm = 0
-				for k := range z {
-					z[k] = sig.Renormalize(z[k])
-				}
-			}
-		}
+		// comb is a fixed-amplitude rotate-and-accumulate — the blocked
+		// kernel's case.
+		renderFixedComb(dst, z, stepStatic, amp)
 		return
 	}
 	for i := range dst {

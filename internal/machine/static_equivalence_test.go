@@ -1,0 +1,109 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fase/internal/activity"
+	"fase/internal/emsim"
+	"fase/internal/microbench"
+)
+
+// bitsEqual compares two renders sample for sample at the bit level.
+func bitsEqual(t *testing.T, tag string, trial int, got, want []complex128) {
+	t.Helper()
+	for i := range got {
+		if math.Float64bits(real(got[i])) != math.Float64bits(real(want[i])) ||
+			math.Float64bits(imag(got[i])) != math.Float64bits(imag(want[i])) {
+			t.Fatalf("%s trial %d: sample %d differs: got %v, want %v",
+				tag, trial, i, got[i], want[i])
+		}
+	}
+}
+
+// TestStaticLayerRenderEquivalence is the static cache's core property
+// test: replaying a capture's cached activity-independent layer must be
+// bit-identical to rendering every component live — across randomized
+// scenes, with and without a render plan, and (the point of the cache)
+// across different activity traces sharing one static set.
+func TestStaticLayerRenderEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(1851))
+	cached := 0
+	for trial := 0; trial < 10; trial++ {
+		scene := randomScene(r)
+		n := 1 << (9 + r.Intn(3)) // 512..2048
+		band := emsim.Band{
+			Center:     100e3 + r.Float64()*4e6,
+			SampleRate: float64(n) * (50 + r.Float64()*200),
+		}
+		capt := emsim.Capture{
+			Band: band, N: n,
+			Start:     r.Float64() * 0.2,
+			Seed:      r.Int63(),
+			NearField: r.Intn(4) == 0, NearFieldGainDB: 30,
+		}
+		kinds := []activity.Kind{activity.LDM, activity.LDL1, activity.LDL2}
+		traces := []*activity.Trace{nil, microbench.Generate(microbench.Config{
+			X: kinds[r.Intn(len(kinds))], Y: kinds[r.Intn(len(kinds))],
+			FAlt:   30e3 + r.Float64()*20e3,
+			Jitter: microbench.DefaultJitter(), Seed: r.Int63(),
+		}, 0.5+float64(n)/band.SampleRate)}
+
+		plan := scene.Plan(band, n)
+		for _, withPlan := range []bool{false, true} {
+			build := capt
+			if withPlan {
+				build.Plan = plan
+			}
+			static := scene.BuildStaticSet(build)
+			if static == nil {
+				continue
+			}
+			cached += static.Components()
+			// One static set serves every activity trace of the campaign.
+			for ti, trace := range traces {
+				live, replayed := build, build
+				live.Activity, replayed.Activity = trace, trace
+				replayed.Static = static
+				want := make([]complex128, n)
+				scene.RenderInto(want, live)
+				got := make([]complex128, n)
+				scene.RenderInto(got, replayed)
+				bitsEqual(t, "static replay", trial*100+ti, got, want)
+			}
+		}
+	}
+	if cached == 0 {
+		t.Fatal("no component was ever cached; the equivalence test is vacuous")
+	}
+}
+
+// TestStaticClassification pins which emitters may enter the static layer:
+// activity-modulated sources must never classify static, while clocks
+// whose envelope cannot move always do.
+func TestStaticClassification(t *testing.T) {
+	band := emsim.Band{Center: 300e3, SampleRate: 600e3}
+	if _, ok := emsim.Component(&SwitchingRegulator{FSw: 315e3, MaxHarmonics: 4}).(emsim.StaticRenderer); ok {
+		t.Error("SwitchingRegulator must not classify static (activity-modulated)")
+	}
+	if _, ok := emsim.Component(&RefreshEmitter{}).(emsim.StaticRenderer); ok {
+		t.Error("RefreshEmitter must not classify static (activity-disrupted timing)")
+	}
+	clk := &UnmodulatedClock{F0: 100e3, MaxHarmonics: 5}
+	if terms, ok := clk.StaticTerms(band, 512); !ok || terms != 3 {
+		t.Errorf("UnmodulatedClock static = (%d, %v), want 3 in-band harmonics, static", terms, ok)
+	}
+	modulated := &SSCClock{F0: 300e3, MaxHarmonics: 1, IdleFrac: 0.4, Dom: activity.DomainDRAM}
+	if _, ok := modulated.StaticTerms(band, 512); ok {
+		t.Error("activity-modulated SSCClock must not classify static")
+	}
+	decoy := &SSCClock{F0: 300e3, MaxHarmonics: 1, IdleFrac: 0.4, Dom: activity.DomainNone}
+	if terms, ok := decoy.StaticTerms(band, 512); !ok || terms != 1 {
+		t.Errorf("DomainNone SSCClock static = (%d, %v), want (1, true)", terms, ok)
+	}
+	idle := &SSCClock{F0: 300e3, MaxHarmonics: 1, IdleFrac: 1, Dom: activity.DomainDRAM}
+	if terms, ok := idle.StaticTerms(band, 512); !ok || terms != 1 {
+		t.Errorf("IdleFrac=1 SSCClock static = (%d, %v), want (1, true)", terms, ok)
+	}
+}

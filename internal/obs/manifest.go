@@ -91,8 +91,16 @@ type PlannerStats struct {
 	ComponentsSkipped int64 `json:"components_skipped"`
 	// RenderSkips counts components not rendered across all captures —
 	// the planner's actual savings.
-	RenderSkips int64         `json:"render_component_skips"`
-	Segments    []SegmentPlan `json:"segments"`
+	RenderSkips int64 `json:"render_component_skips"`
+	// StaticCacheHits/Misses are the analyzer's static-layer cache
+	// behaviour (captures whose activity-independent layer was replayed
+	// from cache vs built); StaticComponentsCached and StaticReplays count
+	// the layer's contents and the component renders it saved.
+	StaticCacheHits        int64         `json:"static_cache_hits"`
+	StaticCacheMisses      int64         `json:"static_cache_misses"`
+	StaticComponentsCached int64         `json:"static_components_cached"`
+	StaticReplays          int64         `json:"static_component_replays"`
+	Segments               []SegmentPlan `json:"segments"`
 }
 
 // CacheStats is one cache's hit/miss record during the run.
@@ -204,7 +212,7 @@ func ValidateManifest(data []byte) error {
 	if m.Caches == nil {
 		return fmt.Errorf("obs: manifest missing caches")
 	}
-	for _, name := range []string{"fft_plan", "window", "bufpool_complex", "bufpool_float", "specan_plan"} {
+	for _, name := range []string{"fft_plan", "rfft_plan", "window", "bufpool_complex", "bufpool_float", "specan_plan", "render_static"} {
 		c, ok := m.Caches[name]
 		if !ok {
 			return fmt.Errorf("obs: manifest missing cache %q", name)

@@ -29,6 +29,8 @@ import (
 const (
 	MetricFFTPlanHits          = "fase_fft_plan_cache_hits_total"
 	MetricFFTPlanMisses        = "fase_fft_plan_cache_misses_total"
+	MetricRFFTPlanHits         = "fase_rfft_plan_cache_hits_total"
+	MetricRFFTPlanMisses       = "fase_rfft_plan_cache_misses_total"
 	MetricWindowHits           = "fase_window_cache_hits_total"
 	MetricWindowMisses         = "fase_window_cache_misses_total"
 	MetricBufpoolComplexHits   = "fase_bufpool_complex_hits_total"
@@ -45,6 +47,10 @@ const (
 	MetricSpecanCaptures       = "fase_specan_captures_total"
 	MetricSpecanPlanHits       = "fase_specan_plan_cache_hits_total"
 	MetricSpecanPlanMisses     = "fase_specan_plan_cache_misses_total"
+	MetricStaticCacheHits      = "fase_render_static_cache_hits_total"
+	MetricStaticCacheMisses    = "fase_render_static_cache_misses_total"
+	MetricStaticComponents     = "fase_render_static_components_cached_total"
+	MetricStaticReplays        = "fase_render_static_component_replays_total"
 	MetricCampaigns            = "fase_core_campaigns_total"
 	MetricDetections           = "fase_core_detections_total"
 	MetricRenderSeconds        = "fase_specan_render_seconds"

@@ -33,6 +33,12 @@ type Run struct {
 	// cache behaviour for this run.
 	PlanCacheHits   Counter
 	PlanCacheMisses Counter
+	// StaticCacheHits/Misses count the analyzer's static-layer cache
+	// behaviour for this run (see specan.Config.ReuseStatic): hits are
+	// captures whose activity-independent layer was replayed rather than
+	// re-rendered.
+	StaticCacheHits   Counter
+	StaticCacheMisses Counter
 
 	start     time.Time
 	startCPU  float64
@@ -120,20 +126,26 @@ func (r *Run) Finish(config any, simulatedSeconds float64, detections []Detectio
 		RenderSeconds:            r.RenderSeconds.Value(),
 		FFTSeconds:               r.FFTSeconds.Value(),
 		Planner: PlannerStats{
-			PlansBuilt:        delta.Counters[MetricPlansBuilt],
-			CacheHits:         r.PlanCacheHits.Value(),
-			CacheMisses:       r.PlanCacheMisses.Value(),
-			ComponentsActive:  delta.Counters[MetricPlanComponentsActive],
-			ComponentsSkipped: delta.Counters[MetricPlanComponentsSkip],
-			RenderSkips:       delta.Counters[MetricRenderComponentSkips],
-			Segments:          append([]SegmentPlan(nil), r.segments...),
+			PlansBuilt:             delta.Counters[MetricPlansBuilt],
+			CacheHits:              r.PlanCacheHits.Value(),
+			CacheMisses:            r.PlanCacheMisses.Value(),
+			ComponentsActive:       delta.Counters[MetricPlanComponentsActive],
+			ComponentsSkipped:      delta.Counters[MetricPlanComponentsSkip],
+			RenderSkips:            delta.Counters[MetricRenderComponentSkips],
+			StaticCacheHits:        r.StaticCacheHits.Value(),
+			StaticCacheMisses:      r.StaticCacheMisses.Value(),
+			StaticComponentsCached: delta.Counters[MetricStaticComponents],
+			StaticReplays:          delta.Counters[MetricStaticReplays],
+			Segments:               append([]SegmentPlan(nil), r.segments...),
 		},
 		Caches: map[string]CacheStats{
 			"fft_plan":        cacheStats(delta, MetricFFTPlanHits, MetricFFTPlanMisses),
+			"rfft_plan":       cacheStats(delta, MetricRFFTPlanHits, MetricRFFTPlanMisses),
 			"window":          cacheStats(delta, MetricWindowHits, MetricWindowMisses),
 			"bufpool_complex": cacheStats(delta, MetricBufpoolComplexHits, MetricBufpoolComplexMisses),
 			"bufpool_float":   cacheStats(delta, MetricBufpoolFloatHits, MetricBufpoolFloatMisses),
 			"specan_plan":     cacheStats(delta, MetricSpecanPlanHits, MetricSpecanPlanMisses),
+			"render_static":   cacheStats(delta, MetricStaticCacheHits, MetricStaticCacheMisses),
 		},
 		Detections: sanitizeDetections(detections),
 	}

@@ -121,6 +121,26 @@ func (r *Rotator) Next() complex128 {
 	return v
 }
 
+// Next4 returns the current phasor and the next three, advancing four
+// steps with a single renormalization check. The four values and the
+// post-call rotator state are bit-identical to four consecutive Next
+// calls provided the step counter is a multiple of 4 (true for rotators
+// advanced only in batches of 4, since RotatorRenorm is too): the renorm
+// boundary then always coincides with a batch boundary. Renderers unroll
+// their per-sample loops around it to keep the phasor in registers.
+func (r *Rotator) Next4() (v0, v1, v2, v3 complex128) {
+	v0 = r.z
+	v1 = v0 * r.step
+	v2 = v1 * r.step
+	v3 = v2 * r.step
+	r.z = v3 * r.step
+	if r.k += 4; r.k >= RotatorRenorm {
+		r.k = 0
+		r.z = Renormalize(r.z)
+	}
+	return
+}
+
 // Renormalize rescales a unit phasor back to magnitude 1, undoing the
 // rounding drift accumulated by repeated rotation multiplies.
 func Renormalize(z complex128) complex128 {
@@ -329,6 +349,24 @@ func (k *ImpulseKernel) Add(dst []complex128, pos float64, area complex128, fs f
 	theta0 := u0 * k.dTheta
 	c := math.Cos(theta0)
 	cPrev := math.Cos(theta0 - k.dTheta)
+	if lo >= 0 && center+h < len(dst) {
+		// Fully interior impulse (the common case): same tap arithmetic
+		// as below, minus the per-tap clip test.
+		for i := lo; i <= center+h; i++ {
+			u := float64(i) - pos
+			var snc float64
+			if u == 0 {
+				snc = 1
+			} else {
+				snc = s / (math.Pi * u)
+			}
+			w := 0.54 + 0.46*c
+			dst[i] += amp * complex(snc*w, 0)
+			s = -s
+			c, cPrev = k.twoCosD*c-cPrev, c
+		}
+		return
+	}
 	for i := lo; i <= center+h; i++ {
 		if i >= 0 && i < len(dst) {
 			u := float64(i) - pos

@@ -28,12 +28,14 @@ import (
 // Config.Obs. The two histograms receive samples only while a run is
 // attached, so the uninstrumented hot path never reads the clock.
 var (
-	sweepsTotal     = obs.Default.Counter(obs.MetricSweeps)
-	capturesTotal   = obs.Default.Counter(obs.MetricSpecanCaptures)
-	planHitsTotal   = obs.Default.Counter(obs.MetricSpecanPlanHits)
-	planMissesTotal = obs.Default.Counter(obs.MetricSpecanPlanMisses)
-	renderSeconds   = obs.Default.Histogram(obs.MetricRenderSeconds, obs.ExpBuckets(1e-5, 4, 12))
-	fftSeconds      = obs.Default.Histogram(obs.MetricFFTSeconds, obs.ExpBuckets(1e-5, 4, 12))
+	sweepsTotal       = obs.Default.Counter(obs.MetricSweeps)
+	capturesTotal     = obs.Default.Counter(obs.MetricSpecanCaptures)
+	planHitsTotal     = obs.Default.Counter(obs.MetricSpecanPlanHits)
+	planMissesTotal   = obs.Default.Counter(obs.MetricSpecanPlanMisses)
+	staticHitsTotal   = obs.Default.Counter(obs.MetricStaticCacheHits)
+	staticMissesTotal = obs.Default.Counter(obs.MetricStaticCacheMisses)
+	renderSeconds     = obs.Default.Histogram(obs.MetricRenderSeconds, obs.ExpBuckets(1e-5, 4, 12))
+	fftSeconds        = obs.Default.Histogram(obs.MetricFFTSeconds, obs.ExpBuckets(1e-5, 4, 12))
 )
 
 // Config tunes the analyzer.
@@ -67,6 +69,15 @@ type Config struct {
 	// this is a debugging escape hatch for isolating the planner, not a
 	// result-changing switch.
 	NoPlan bool
+	// ReuseStatic enables the campaign-scoped static render cache: the
+	// activity-independent layer of each capture identity (segment band,
+	// length, seed, start time, probe placement — see emsim.StaticSet) is
+	// built once and replayed by every sweep on this analyzer that renders
+	// the same identity. Profitable exactly when sweeps share Seed and
+	// differ only in activity, as a campaign's alternation sweeps do.
+	// Replay is bit-identical to live rendering at any Parallelism; the
+	// default (off) is the escape hatch, mirrored by core.Campaign.NoReuse.
+	ReuseStatic bool
 	// Faults, when non-nil, deterministically degrades every rendered
 	// capture before its FFT (see emsim.FaultPlan): dropped/truncated
 	// traces, ADC clipping, burst interferers, added noise. Nil — the
@@ -119,6 +130,39 @@ type Analyzer struct {
 	// component culling and per-component preparation happens once, not
 	// once per capture.
 	plans sync.Map
+	// statics caches built static layers per capture identity (staticKey)
+	// when Config.ReuseStatic is set. A plain struct-keyed map behind an
+	// RWMutex rather than a sync.Map: warm lookups then neither box the key
+	// nor allocate, keeping the steady-state sweep allocation-free.
+	staticMu sync.RWMutex
+	statics  map[staticKey]*staticEntry
+	// arena retains capture and bin buffers for the analyzer's lifetime:
+	// the process-wide bufpool can lose its contents to a garbage
+	// collection between sweeps, but a campaign's analyzer re-renders the
+	// same geometry for every alternation sweep, so pinning the buffers
+	// here keeps repeated sweeps allocation-free end to end.
+	arena bufpool.Arena
+}
+
+// staticKey is the full capture identity a cached static layer is valid
+// for — unlike planKey it includes seed, start time, and probe placement,
+// because the static layer bakes in the components' PRNG streams.
+type staticKey struct {
+	scene      *emsim.Scene
+	center, fs float64
+	n          int
+	seed       int64
+	start      float64
+	nearField  bool
+	nearGainDB float64
+}
+
+// staticEntry is one cache slot. The sync.Once serializes the build so
+// concurrent first renders of an identity (Parallelism > 1) share one
+// BuildStaticSet instead of racing duplicate work.
+type staticEntry struct {
+	once sync.Once
+	set  *emsim.StaticSet
 }
 
 // planKey identifies a segment's render geometry. Near-field settings are
@@ -157,10 +201,59 @@ func (a *Analyzer) planFor(scene *emsim.Scene, band emsim.Band, n int) *emsim.Re
 	return v.(*emsim.RenderPlan)
 }
 
+// staticFor returns the cached static layer for a capture identity,
+// building it on first use (nil when the scene has nothing cacheable for
+// the geometry — the entry still caches that answer).
+func (a *Analyzer) staticFor(req Request, band emsim.Band, n int, seed int64, start float64, plan *emsim.RenderPlan) *emsim.StaticSet {
+	if plan != nil && plan.StaticCount() == 0 {
+		return nil
+	}
+	key := staticKey{
+		scene: req.Scene, center: band.Center, fs: band.SampleRate, n: n,
+		seed: seed, start: start,
+		nearField: req.NearField, nearGainDB: req.NearFieldGainDB,
+	}
+	a.staticMu.RLock()
+	e := a.statics[key]
+	a.staticMu.RUnlock()
+	if e == nil {
+		a.staticMu.Lock()
+		if e = a.statics[key]; e == nil {
+			e = &staticEntry{}
+			a.statics[key] = e
+		}
+		a.staticMu.Unlock()
+	}
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		staticMissesTotal.Inc()
+		if run := a.cfg.Obs; run != nil {
+			run.StaticCacheMisses.Inc()
+		}
+		e.set = req.Scene.BuildStaticSet(emsim.Capture{
+			Band: band, Start: start, N: n, Seed: seed,
+			NearField: req.NearField, NearFieldGainDB: req.NearFieldGainDB,
+			Plan: plan,
+		})
+	})
+	if hit {
+		staticHitsTotal.Inc()
+		if run := a.cfg.Obs; run != nil {
+			run.StaticCacheHits.Inc()
+		}
+	}
+	return e.set
+}
+
 // New creates an analyzer. See Config for defaults.
 func New(cfg Config) *Analyzer {
 	cfg = cfg.withDefaults()
-	return &Analyzer{cfg: cfg, sem: make(chan struct{}, cfg.Parallelism)}
+	a := &Analyzer{cfg: cfg, sem: make(chan struct{}, cfg.Parallelism)}
+	if cfg.ReuseStatic {
+		a.statics = make(map[staticKey]*staticEntry)
+	}
+	return a
 }
 
 // Fres returns the configured resolution bandwidth.
@@ -249,7 +342,7 @@ func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.
 	run := a.cfg.Obs
 	_, center, _ := a.segGeom(p, req.F1, capIdx/a.cfg.Averages)
 	band := emsim.Band{Center: center, SampleRate: p.fs}
-	buf := bufpool.Complex(p.nfft)
+	buf := a.arena.Complex(p.nfft)
 	var t0, t1, t2 time.Time
 	var cs obs.Span
 	if run != nil {
@@ -258,15 +351,23 @@ func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.
 		}
 		t0 = time.Now()
 	}
+	capSeed := req.Seed + int64(capIdx)*7919
+	start := float64(capIdx) * a.CaptureDuration()
+	rp := a.planFor(req.Scene, band, p.nfft)
+	var static *emsim.StaticSet
+	if a.cfg.ReuseStatic {
+		static = a.staticFor(req, band, p.nfft, capSeed, start, rp)
+	}
 	req.Scene.RenderInto(buf, emsim.Capture{
 		Band:            band,
-		Start:           float64(capIdx) * a.CaptureDuration(),
+		Start:           start,
 		N:               p.nfft,
 		Activity:        req.Activity,
-		Seed:            req.Seed + int64(capIdx)*7919,
+		Seed:            capSeed,
 		NearField:       req.NearField,
 		NearFieldGainDB: req.NearFieldGainDB,
-		Plan:            a.planFor(req.Scene, band, p.nfft),
+		Plan:            rp,
+		Static:          static,
 	})
 	if run != nil {
 		t1 = time.Now()
@@ -275,10 +376,10 @@ func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.
 		// Fault seed = capture seed: the degradation is pinned to the
 		// capture's position in the sweep, so results are independent of
 		// parallelism exactly like the render itself.
-		fp.Apply(buf, band, req.Seed+int64(capIdx)*7919)
+		fp.Apply(buf, band, capSeed)
 	}
 	spectral.PeriodogramInPlace(out, buf, p.fs, center, a.cfg.Window)
-	bufpool.PutComplex(buf)
+	a.arena.PutComplex(buf)
 	capturesTotal.Inc()
 	if run != nil {
 		t2 = time.Now()
@@ -330,7 +431,7 @@ func (a *Analyzer) sweep(req Request, sw obs.Span) *spectral.Spectrum {
 	nCaps := p.segs * a.cfg.Averages
 	specs := make([]spectral.Spectrum, nCaps)
 	for i := range specs {
-		specs[i].PmW = bufpool.Float(p.nfft)
+		specs[i].PmW = a.arena.Float(p.nfft)
 	}
 	if a.cfg.Parallelism == 1 {
 		for i := 0; i < nCaps; i++ {
@@ -360,7 +461,7 @@ func (a *Analyzer) sweep(req Request, sw obs.Span) *spectral.Spectrum {
 		for t := 0; t < a.cfg.Averages; t++ {
 			sp := &specs[s*a.cfg.Averages+t]
 			avg.Add(sp)
-			bufpool.PutFloat(sp.PmW)
+			a.arena.PutFloat(sp.PmW)
 			sp.PmW = nil
 		}
 		parts = append(parts, avg.Mean().Slice(fStart, fStart+float64(bins)*a.cfg.Fres))
