@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet lint build test race shuffle bench-smoke equivalence fuzz-smoke bench-regress obs-smoke accuracy cover
+.PHONY: ci fmt-check vet lint build test race shuffle bench-smoke equivalence fuzz-smoke bench-regress obs-smoke accuracy cover profile
 
 # ci is the full gate: formatting, vet + lint, build, tests (with the race
 # detector, then again in shuffled order), the planner equivalence suite, a
@@ -66,38 +66,71 @@ fuzz-smoke:
 # a full timing run. The baseline outputs are discarded: a 1x run must
 # never overwrite the committed BENCH_*.json files.
 bench-smoke:
-	FASE_BENCH_OUT=/dev/null FASE_BENCH_CAMPAIGN_OUT=/dev/null \
-		$(GO) test -run xxx -bench 'BenchmarkSceneRender|BenchmarkPeriodogram|BenchmarkSweep$$|BenchmarkCampaignNarrowband' -benchtime 1x .
+	FASE_BENCH_OUT=/dev/null FASE_BENCH_CAMPAIGN_OUT=/dev/null FASE_BENCH_KERNELS_OUT=/dev/null \
+		$(GO) test -run xxx -bench 'BenchmarkSceneRender|BenchmarkPeriodogram|BenchmarkSweep$$|BenchmarkCampaignNarrowband|BenchmarkRender(Regulator|Refresh|SSC)$$' -benchtime 1x .
 
-# bench-regress re-times the wide CLI scan and the narrowband campaign,
-# printing old-vs-new ns/op with the percentage delta for each, and fails
-# (with the delta in the message) if either regressed against its committed
-# baseline (BENCH_sweep.json at 20%, BENCH_campaign.json at 25% — the
-# campaign adds scoring/detection variance on top of the sweep). Fresh runs go to temp
-# files via FASE_BENCH_OUT / FASE_BENCH_CAMPAIGN_OUT so the baselines are
-# only updated deliberately (run the benchmarks without those variables
-# and commit the result).
+# bench-regress re-times the wide CLI scan, the narrowband campaign, and
+# the three dynamic-kernel microbenchmarks (idle and loaded), printing
+# old-vs-new ns/op with the percentage delta for each, and fails (with the
+# delta in the message) if any regressed against its committed baseline
+# (BENCH_sweep.json at 20%, BENCH_campaign.json at 25% — the campaign adds
+# scoring/detection variance on top of the sweep — and BENCH_kernels.json
+# at 35%, the sub-millisecond kernels being the noisiest measurements).
+# Fresh runs go to temp files via FASE_BENCH_OUT / FASE_BENCH_CAMPAIGN_OUT
+# / FASE_BENCH_KERNELS_OUT so the baselines are only updated deliberately
+# (run the benchmarks without those variables and commit the result).
 bench-regress:
-	@fresh=$$(mktemp); freshc=$$(mktemp); \
+	@fresh=$$(mktemp); freshc=$$(mktemp); freshk=$$(mktemp); \
 	FASE_BENCH_OUT=$$fresh FASE_BENCH_CAMPAIGN_OUT=$$freshc \
 		$(GO) test -run xxx -bench 'BenchmarkWideSweep$$|BenchmarkCampaignNarrowband$$' -benchtime 5x . >/dev/null || exit 1; \
+	FASE_BENCH_KERNELS_OUT=$$freshk \
+		$(GO) test -run xxx -bench 'BenchmarkRender(Regulator|Refresh|SSC)$$' -benchtime 100x . >/dev/null || exit 1; \
 	base=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' BENCH_sweep.json); \
 	now=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' $$fresh); \
 	cbase=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' BENCH_campaign.json); \
 	cnow=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' $$freshc); \
-	rm -f $$fresh $$freshc; \
 	if [ -z "$$base" ] || [ -z "$$now" ]; then echo "bench-regress: missing sweep ns_per_op"; exit 1; fi; \
 	if [ -z "$$cbase" ] || [ -z "$$cnow" ]; then echo "bench-regress: missing campaign ns_per_op"; exit 1; fi; \
 	delta=$$(( (now - base) * 100 / base )); \
 	echo "bench-regress: BenchmarkWideSweep          $$base -> $$now ns/op ($$delta% vs baseline, limit +20%)"; \
 	cdelta=$$(( (cnow - cbase) * 100 / cbase )); \
 	echo "bench-regress: BenchmarkCampaignNarrowband $$cbase -> $$cnow ns/op ($$cdelta% vs baseline, limit +25%)"; \
+	fail=0; \
 	if [ "$$now" -gt "$$((base * 120 / 100))" ]; then \
-		echo "bench-regress: FAIL BenchmarkWideSweep $$base -> $$now ns/op is +$$delta%, over the +20% gate"; exit 1; \
+		echo "bench-regress: FAIL BenchmarkWideSweep $$base -> $$now ns/op is +$$delta%, over the +20% gate"; fail=1; \
 	fi; \
 	if [ "$$cnow" -gt "$$((cbase * 125 / 100))" ]; then \
-		echo "bench-regress: FAIL BenchmarkCampaignNarrowband $$cbase -> $$cnow ns/op is +$$cdelta%, over the +25% gate"; exit 1; \
-	fi
+		echo "bench-regress: FAIL BenchmarkCampaignNarrowband $$cbase -> $$cnow ns/op is +$$cdelta%, over the +25% gate"; fail=1; \
+	fi; \
+	for key in render_regulator_idle render_regulator_loaded \
+	           render_refresh_idle render_refresh_loaded \
+	           render_ssc_idle render_ssc_loaded; do \
+		kbase=$$(sed -n "s/.*\"$${key}_ns_per_op\": \([0-9]*\).*/\1/p" BENCH_kernels.json); \
+		know=$$(sed -n "s/.*\"$${key}_ns_per_op\": \([0-9]*\).*/\1/p" $$freshk); \
+		if [ -z "$$kbase" ] || [ -z "$$know" ]; then echo "bench-regress: missing $$key ns_per_op"; exit 1; fi; \
+		kdelta=$$(( (know - kbase) * 100 / kbase )); \
+		echo "bench-regress: $$key $$kbase -> $$know ns/op ($$kdelta% vs baseline, limit +35%)"; \
+		if [ "$$know" -gt "$$((kbase * 135 / 100))" ]; then \
+			echo "bench-regress: FAIL $$key $$kbase -> $$know ns/op is +$$kdelta%, over the +35% gate"; fail=1; \
+		fi; \
+	done; \
+	rm -f $$fresh $$freshc $$freshk; \
+	exit $$fail
+
+# profile captures CPU and allocation profiles of the narrowband campaign
+# benchmark as artifacts under profiles/ (raw pprof files plus `go tool
+# pprof -top` summaries), for before/after comparison when working on the
+# render kernels. The benchmark's baseline outputs are discarded — a
+# profiling run must never overwrite the committed BENCH_*.json files.
+profile:
+	@mkdir -p profiles; \
+	FASE_BENCH_OUT=/dev/null FASE_BENCH_CAMPAIGN_OUT=/dev/null FASE_BENCH_KERNELS_OUT=/dev/null \
+		$(GO) test -run xxx -bench 'BenchmarkCampaignNarrowband$$' -benchtime 10x \
+		-cpuprofile profiles/campaign_cpu.pprof -memprofile profiles/campaign_mem.pprof \
+		-o profiles/fase.test . >/dev/null || exit 1; \
+	$(GO) tool pprof -top -nodecount 25 profiles/fase.test profiles/campaign_cpu.pprof > profiles/campaign_cpu.txt || exit 1; \
+	$(GO) tool pprof -top -sample_index=alloc_space -nodecount 25 profiles/fase.test profiles/campaign_mem.pprof > profiles/campaign_mem.txt || exit 1; \
+	echo "profile: wrote profiles/campaign_{cpu,mem}.pprof and -top summaries"
 
 # accuracy runs the ground-truth harness (fase -verify): a 60-scenario
 # seeded-random machine corpus scanned by the unchanged pipeline, clean and

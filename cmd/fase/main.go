@@ -48,6 +48,7 @@ func run() int {
 	seed := flag.Int64("seed", 1, "random seed")
 	env := flag.Bool("environment", true, "include the metropolitan RF environment")
 	noReuse := flag.Bool("no-reuse", false, "disable the cross-sweep static render cache (bit-identical results, slower)")
+	noSegment := flag.Bool("no-segment", false, "disable run-length segmentation in load-following renderers (bit-identical results, slower)")
 	classify := flag.Bool("classify", false, "also run the on-chip pair (LDL2/LDL1) and classify carriers")
 	metricsOut := flag.String("metrics-out", "", "write a JSON snapshot of process metrics to FILE on exit")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of campaign stages to FILE (load in chrome://tracing or Perfetto)")
@@ -123,7 +124,8 @@ func run() int {
 		F1: *f1, F2: *f2, Fres: *fres,
 		FAlt1: *falt, FDelta: *fdelta,
 		X: x, Y: y, Seed: *seed,
-		NoReuse: *noReuse,
+		NoReuse:   *noReuse,
+		NoSegment: *noSegment,
 	}
 	fmt.Printf("FASE scan of %s, %v/%v, %.3g–%.3g MHz at %.0f Hz RBW\n",
 		sys.Name, x, y, *f1/1e6, *f2/1e6, *fres)

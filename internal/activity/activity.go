@@ -259,6 +259,159 @@ func (c *Cursor) At(t float64) Load {
 	return segs[c.idx].Load
 }
 
+// SampleRuns iterates the maximal constant-segment runs of the uniform
+// sample grid t_i = start + i·dt, i ∈ [0, n): each Next yields a half-open
+// sample range [i0, i1) whose samples all read the same trace segment.
+//
+// Boundary samples are assigned by the exact Cursor predicate
+// (Segments[s+1].Start <= t_i), evaluated with the same float expressions
+// a per-sample Cursor walk uses, so for every i the run covering i carries
+// precisely the load Cursor.At(t_i) would return — renderers can iterate
+// runs instead of samples with bit-identical results. dt must be positive.
+type SampleRuns struct {
+	segs      []Segment
+	start, dt float64
+	n         int
+	i         int // next sample index to assign
+	seg       int // segment the cursor sits on at sample i
+}
+
+// SampleRuns returns a run iterator over the first n samples of the grid
+// t_i = start + i·dt.
+func (tr *Trace) SampleRuns(start, dt float64, n int) SampleRuns {
+	sr := SampleRuns{segs: tr.Segments, start: start, dt: dt, n: n}
+	// Position the cursor at sample 0 — the same advance a Cursor performs
+	// for its first At(t_0) query (t_0 = start + 0·dt = start).
+	for sr.seg+1 < len(sr.segs) && sr.segs[sr.seg+1].Start <= start {
+		sr.seg++
+	}
+	return sr
+}
+
+// Next returns the next run [i0, i1) and its load; ok is false when the
+// grid is exhausted.
+func (sr *SampleRuns) Next() (load Load, i0, i1 int, ok bool) {
+	if sr.i >= sr.n {
+		return Load{}, 0, 0, false
+	}
+	i0 = sr.i
+	if len(sr.segs) == 0 {
+		// Empty trace: Cursor.At returns the zero load everywhere.
+		sr.i = sr.n
+		return Load{}, i0, sr.n, true
+	}
+	load = sr.segs[sr.seg].Load
+	if sr.seg+1 >= len(sr.segs) {
+		sr.i = sr.n
+		return load, i0, sr.n, true
+	}
+	next := sr.segs[sr.seg+1].Start
+	// The run ends at the smallest i with t_i >= next (the cursor's advance
+	// predicate). t_i = start + float64(i)·dt is non-decreasing in i (float
+	// rounding is monotone), so an arithmetic estimate fixed up by direct
+	// predicate evaluation lands on the exact boundary in O(1).
+	est := i0 + 1
+	if e := (next - sr.start) / sr.dt; e > float64(i0+1) {
+		if e >= float64(sr.n) {
+			est = sr.n
+		} else {
+			est = int(e)
+		}
+	}
+	for est > i0+1 && sr.start+float64(est-1)*sr.dt >= next {
+		est--
+	}
+	for est < sr.n && sr.start+float64(est)*sr.dt < next {
+		est++
+	}
+	i1 = est
+	sr.i = i1
+	if i1 < sr.n {
+		// Advance the cursor to the segment sample i1 reads — possibly
+		// skipping segments shorter than a sample period, exactly as
+		// Cursor.At does.
+		t := sr.start + float64(i1)*sr.dt
+		for sr.seg+1 < len(sr.segs) && sr.segs[sr.seg+1].Start <= t {
+			sr.seg++
+		}
+	}
+	return load, i0, i1, true
+}
+
+// DomainRuns iterates SampleRuns projected onto one power domain, merging
+// adjacent runs whose projected loads are bit-equal — the form a
+// load-following renderer consumes: within one merged run every sample's
+// d.Of(Cursor.At(t_i)) is the same float64. For DomainNone every capture
+// collapses to a single zero-load run.
+type DomainRuns struct {
+	sr   SampleRuns
+	dom  Domain
+	pend bool
+	load float64
+	i0   int
+	i1   int
+}
+
+// DomainRuns returns a domain-projected, value-merged run iterator over
+// the first n samples of the grid t_i = start + i·dt.
+func (tr *Trace) DomainRuns(d Domain, start, dt float64, n int) DomainRuns {
+	return DomainRuns{sr: tr.SampleRuns(start, dt, n), dom: d}
+}
+
+// Next returns the next merged run [i0, i1) and its projected load; ok is
+// false when the grid is exhausted.
+func (dr *DomainRuns) Next() (load float64, i0, i1 int, ok bool) {
+	if !dr.pend {
+		l, a, b, ok := dr.sr.Next()
+		if !ok {
+			return 0, 0, 0, false
+		}
+		dr.load, dr.i0, dr.i1 = dr.dom.Of(l), a, b
+	}
+	dr.pend = false
+	for {
+		l, a, b, ok := dr.sr.Next()
+		if !ok {
+			return dr.load, dr.i0, dr.i1, true
+		}
+		if v := dr.dom.Of(l); v == dr.load {
+			dr.i1 = b
+			continue
+		} else {
+			load, i0, i1 = dr.load, dr.i0, dr.i1
+			dr.load, dr.i0, dr.i1 = v, a, b
+			dr.pend = true
+			return load, i0, i1, true
+		}
+	}
+}
+
+// DomainConstant reports whether the trace's projection onto domain d is a
+// single constant over every segment readable in the time window
+// [t0, t1] (inclusive of both sample endpoints), and returns that
+// constant. The test is conservative: it inspects every segment whose
+// start falls in the window, including segments too short for any sample
+// to land on, so a true result guarantees every sample in the window
+// reads the returned value, while a false result may miss a constancy
+// that holds on the sample grid.
+func (tr *Trace) DomainConstant(d Domain, t0, t1 float64) (float64, bool) {
+	segs := tr.Segments
+	if len(segs) == 0 {
+		return 0, true
+	}
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].Start > t0 })
+	if i > 0 {
+		i--
+	}
+	v := d.Of(segs[i].Load)
+	for i++; i < len(segs) && segs[i].Start <= t1; i++ {
+		if d.Of(segs[i].Load) != v {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
 // Validate checks trace invariants: sorted starts, loads within [0, 1].
 func (tr *Trace) Validate() error {
 	for i, s := range tr.Segments {

@@ -78,6 +78,11 @@ type Campaign struct {
 	// uncached rendering are bit-identical; like NoPlan, this is a
 	// debugging escape hatch, not a result-changing switch.
 	NoReuse bool
+	// NoSegment disables run-length segmentation in load-following
+	// renderers (specan.Config.NoSegment): captures then walk the activity
+	// trace sample by sample. Segmented and per-sample rendering are
+	// bit-identical; like NoPlan, this is a debugging escape hatch.
+	NoSegment bool
 	// Faults, when non-nil, deterministically degrades the measurement
 	// chain (see emsim.FaultPlan): per-capture faults are applied by the
 	// campaign's analyzer, and FAltDriftPPM perturbs each sweep's
@@ -318,7 +323,8 @@ func (r *Runner) RunE(c Campaign) (*Result, error) {
 		camp = run.Tracer.Begin("campaign")
 	}
 	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism,
-		NoPlan: c.NoPlan, ReuseStatic: !c.NoReuse, Faults: c.Faults, Obs: run})
+		NoPlan: c.NoPlan, ReuseStatic: !c.NoReuse, NoSegment: c.NoSegment,
+		Faults: c.Faults, Obs: run})
 	res := &Result{Campaign: c}
 	falts := c.FAlts()
 	res.SimulatedSeconds = float64(len(falts)) * an.TotalDuration(c.F1, c.F2)
@@ -418,6 +424,7 @@ type campaignConfig struct {
 	Parallelism int     `json:"parallelism"`
 	NoPlan      bool    `json:"no_plan"`
 	NoReuse     bool    `json:"no_reuse"`
+	NoSegment   bool    `json:"no_segment"`
 	// FaultsInjected flags runs whose measurement chain was degraded by a
 	// fault plan; their timings and detections are not comparable to
 	// clean runs.
@@ -435,6 +442,7 @@ func manifestConfig(c Campaign) campaignConfig {
 		MergeBins: c.MergeBins, MinElevated: c.MinElevated,
 		X: c.X.String(), Y: c.Y.String(),
 		Seed: c.Seed, Parallelism: c.Parallelism, NoPlan: c.NoPlan, NoReuse: c.NoReuse,
+		NoSegment:      c.NoSegment,
 		FaultsInjected: c.Faults != nil,
 	}
 }

@@ -1,0 +1,54 @@
+package filter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestOnePoleSettleIdempotent pins the property the segmented regulator
+// render rests on: whenever Step(x) returns a value bitwise equal to the
+// smoother's previous output, the update added nothing — the state is at
+// a float fixed point for x, and every further Step(x) returns the same
+// bits. The renderer detects that condition once per constant-load run
+// and skips the remaining Step calls; this test drives random loop
+// bandwidths through random piecewise-constant load sequences and checks
+// that the skip criterion is exact wherever it fires, including when the
+// previous output came from a different load level (the renderer carries
+// its settle comparator across run boundaries).
+func TestOnePoleSettleIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	fired := 0
+	for trial := 0; trial < 100; trial++ {
+		fs := 100e3 + r.Float64()*400e3
+		p := NewOnePole(1e3+r.Float64()*(fs/2-2e3), fs)
+		prev := math.NaN()
+		for seg := 0; seg < 20; seg++ {
+			x := r.Float64()
+			if r.Intn(3) == 0 {
+				x = math.Float64frombits(r.Uint64() & 0x3FEFFFFFFFFFFFFF) // denormal-ish corners
+			}
+			steps := 1 + r.Intn(3000)
+			for i := 0; i < steps; i++ {
+				y := p.Step(x)
+				if y == prev || math.Float64bits(y) == math.Float64bits(prev) {
+					// The skip criterion fired: Step(x) must now be
+					// idempotent. Probe a copy so the trial continues from
+					// unskipped state regardless.
+					fired++
+					probe := *p
+					for k := 0; k < 64; k++ {
+						if got := probe.Step(x); math.Float64bits(got) != math.Float64bits(y) {
+							t.Fatalf("trial %d seg %d: settled output %x drifted to %x after %d skipped steps",
+								trial, seg, math.Float64bits(y), math.Float64bits(got), k+1)
+						}
+					}
+				}
+				prev = y
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("settle criterion never fired; the idempotence property was not exercised")
+	}
+}

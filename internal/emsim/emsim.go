@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"fase/internal/activity"
 	"fase/internal/obs"
@@ -66,6 +67,12 @@ type Context struct {
 	// was rendered under a RenderPlan (see Prepper), nil otherwise.
 	// Renderers must produce bit-identical output with or without it.
 	Prep any
+	// NoSegment asks load-following renderers to walk the activity trace
+	// sample by sample instead of iterating its constant-load runs. Both
+	// paths are bit-identical by contract (enforced by the equivalence
+	// tests); this is a debugging escape hatch, mirrored by
+	// specan.Config.NoSegment.
+	NoSegment bool
 }
 
 // Dt returns the sample period.
@@ -83,6 +90,19 @@ func (c *Context) Loads() *activity.Cursor {
 		tr = idleTrace
 	}
 	return tr.Cursor()
+}
+
+// DomainRuns returns the capture's activity envelope projected onto one
+// power domain as constant-load sample runs (see activity.DomainRuns),
+// with the same nil-trace-means-idle substitution as Loads. Renderers
+// iterating these runs see exactly the per-sample loads a Cursor walk
+// would produce, so run-length and per-sample rendering agree bit for bit.
+func (c *Context) DomainRuns(d activity.Domain) activity.DomainRuns {
+	tr := c.Activity
+	if tr == nil {
+		tr = idleTrace
+	}
+	return tr.DomainRuns(d, c.Start, c.Dt(), c.N)
 }
 
 // Component is anything that adds signal (or noise) to a capture.
@@ -149,8 +169,21 @@ type Capture struct {
 	// by Scene.BuildStaticSet for this exact capture identity (band, n,
 	// start, seed, probe): components the set covers are replayed from
 	// their cached addend streams instead of re-rendered. Replay is
-	// bit-identical to live rendering (see StaticRenderer).
+	// bit-identical to live rendering (see StaticRenderer). A set that
+	// additionally caches conditionally static components (see
+	// CondStaticRenderer) is valid only for captures whose activity trace
+	// reproduces the window-constant loads it was built under; RenderInto
+	// verifies this against the capture's cond-static key.
 	Static *StaticSet
+	// NoSegment is forwarded to Context.NoSegment: load-following
+	// renderers fall back to per-sample trace walks (bit-identical; a
+	// debugging escape hatch).
+	NoSegment bool
+	// Obs, when non-nil, attributes this capture's live component renders
+	// by wall time and count (the per-component table of the run
+	// manifest, plus the fase_render_component_seconds histogram).
+	// Instrumentation never changes rendered output.
+	Obs *obs.Run
 }
 
 // renderScratch holds the per-capture PRNG and context state RenderInto
@@ -160,6 +193,9 @@ type Capture struct {
 type renderScratch struct {
 	root, child *rand.Rand
 	ctx         Context
+	// cond is the capture's conditional-static key scratch (see
+	// AppendCondStaticKey), pooled so set verification stays allocation-free.
+	cond []byte
 }
 
 var scratchPool = sync.Pool{New: func() any {
@@ -211,6 +247,7 @@ func (s *Scene) RenderInto(dst []complex128, cap Capture) {
 		Activity:        cap.Activity,
 		NearField:       cap.NearField,
 		NearFieldGainDB: cap.NearFieldGainDB,
+		NoSegment:       cap.NoSegment,
 	}
 	plan := cap.Plan
 	if plan != nil {
@@ -220,8 +257,20 @@ func (s *Scene) RenderInto(dst []complex128, cap Capture) {
 	static := cap.Static
 	if static != nil {
 		static.check(cap, len(s.Components))
+		if static.cond != "" {
+			// The set bakes in conditionally static layers: the capture's
+			// activity trace must reproduce the same classification and
+			// window-constant loads the set was built under.
+			sc.cond = s.AppendCondStaticKey(sc.cond[:0], cap)
+			if string(sc.cond) != static.cond {
+				panic(fmt.Sprintf(
+					"emsim: static set built for cond-static key %x used with a capture keying %x",
+					static.cond, sc.cond))
+			}
+		}
 	}
 	capturesRendered.Inc()
+	run := cap.Obs
 	for i, c := range s.Components {
 		// Each component draws from its own child stream (same derivation
 		// as seeding a fresh generator with root.Int63()). The draw happens
@@ -240,12 +289,21 @@ func (s *Scene) RenderInto(dst []complex128, cap Capture) {
 		if static != nil && static.comps[i] != nil {
 			static.replay(dst, i)
 			staticReplays.Inc()
+			if run != nil {
+				run.AddComponentReplay(c.Name())
+			}
 			sc.ctx.Prep = nil
 			continue
 		}
 		sc.child.Seed(seed)
 		sc.ctx.Rand = sc.child
-		c.Render(dst, &sc.ctx)
+		if run != nil {
+			t0 := time.Now()
+			c.Render(dst, &sc.ctx)
+			run.AddComponentRender(c.Name(), time.Since(t0).Seconds())
+		} else {
+			c.Render(dst, &sc.ctx)
+		}
 		sc.ctx.Prep = nil
 	}
 	sc.ctx.Rand = nil

@@ -101,6 +101,12 @@ type RenderPlan struct {
 	// consumes it so classification runs once per segment, not per capture.
 	staticTerms []int
 	nstatic     int
+	// Conditional classification (see CondStaticRenderer): condTerms[i] is
+	// the addend count of component i when it can be cached under a
+	// window-constant domain load, 0 otherwise. Disjoint from staticTerms —
+	// unconditional classification takes precedence.
+	condTerms []int
+	ncond     int
 }
 
 // Planner counters: how many plans were built and, across all of them,
@@ -126,6 +132,7 @@ func (s *Scene) Plan(band Band, n int) *RenderPlan {
 		active:      make([]bool, len(s.Components)),
 		prep:        make([]any, len(s.Components)),
 		staticTerms: make([]int, len(s.Components)),
+		condTerms:   make([]int, len(s.Components)),
 	}
 	for i, c := range s.Components {
 		act := true
@@ -143,6 +150,9 @@ func (s *Scene) Plan(band Band, n int) *RenderPlan {
 		if terms, ok := classifyStatic(c, band, n); ok {
 			p.staticTerms[i] = terms
 			p.nstatic++
+		} else if terms, ok := classifyCondStatic(c, band, n); ok {
+			p.condTerms[i] = terms
+			p.ncond++
 		}
 	}
 	plansBuilt.Inc()
@@ -160,6 +170,11 @@ func (p *RenderPlan) ActiveCount() int { return p.nactive }
 // StaticCount returns how many active components the plan classified as
 // activity-independent (cacheable in a StaticSet) for this geometry.
 func (p *RenderPlan) StaticCount() int { return p.nstatic }
+
+// CondStaticCount returns how many active components the plan classified
+// as conditionally static (cacheable when their window load is constant)
+// for this geometry.
+func (p *RenderPlan) CondStaticCount() int { return p.ncond }
 
 // check panics if the plan was computed for a different capture geometry
 // or component list than the one being rendered.

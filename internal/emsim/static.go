@@ -2,6 +2,7 @@ package emsim
 
 import (
 	"fmt"
+	"math"
 
 	"fase/internal/obs"
 )
@@ -47,6 +48,36 @@ type StaticTermRenderer interface {
 	RenderStaticTerms(terms [][]complex128, ctx *Context)
 }
 
+// CondStaticRenderer is the conditional-static capability: a component
+// whose render depends on the activity trace only through the trace's
+// projection onto the component's power domain. When that projection is a
+// single constant across the capture window, the contribution is a pure
+// function of (capture identity, load) — a regulator under an idle or
+// domain-constant workload, a partially-idle comb whose envelope freezes —
+// and can be cached and replayed through the same term-major static
+// machinery as unconditionally static components, keyed additionally by
+// the window-constant load (see Scene.AppendCondStaticKey).
+//
+// The contract is exact, like StaticRenderer's: for any activity trace
+// whose Domain() projection equals load at every sample of the capture,
+// RenderCondStaticTerms must write precisely the addend streams Render
+// would have applied to dst under that trace, drawing from ctx.Rand
+// exactly as Render does. Deliberately a separate interface from
+// StaticRenderer: these components are NOT activity-independent, so they
+// must not classify through StaticTerms.
+type CondStaticRenderer interface {
+	Emitter
+	// CondStaticTerms returns the number of += operations Render applies
+	// per sample in the band (the in-band line count), and whether the
+	// component supports conditional-static replay for this geometry.
+	CondStaticTerms(band Band, n int) (terms int, ok bool)
+	// RenderCondStaticTerms writes the component's addend streams for the
+	// window-constant projected load: terms[t][i] must be exactly the t-th
+	// value Render would have added to sample i (terms has the length
+	// CondStaticTerms reported).
+	RenderCondStaticTerms(terms [][]complex128, load float64, ctx *Context)
+}
+
 // StaticSet is the cached activity-independent layer of one capture: the
 // addend streams of every static-classified component, keyed by the full
 // capture identity (geometry, start time, seed, probe placement). It is
@@ -64,6 +95,12 @@ type StaticSet struct {
 	// is rendered live (dynamic, inactive, or contributing zero terms).
 	comps  [][][]complex128
 	cached int
+	// cond is the conditional-static key the set was built under (empty
+	// when no conditionally static component is cached): the (component
+	// index, load bits) pairs of every CondStaticRenderer whose domain
+	// projection was window-constant. RenderInto verifies a capture's key
+	// against it before replaying.
+	cond string
 }
 
 // Static-layer counters: components captured into static sets and
@@ -98,14 +135,93 @@ func classifyStatic(c Component, band Band, n int) (int, bool) {
 	return terms, true
 }
 
+// classifyCondStatic resolves a component's conditional-static
+// classification for one geometry: its declared addend count when the
+// component can be replayed under a window-constant domain load.
+// Unconditional static classification takes precedence — a component that
+// classifies through StaticTerms never classifies here, so the two cached
+// layers are disjoint.
+func classifyCondStatic(c Component, band Band, n int) (int, bool) {
+	if _, ok := classifyStatic(c, band, n); ok {
+		return 0, false
+	}
+	cr, ok := c.(CondStaticRenderer)
+	if !ok {
+		return 0, false
+	}
+	terms, cond := cr.CondStaticTerms(band, n)
+	if !cond || terms <= 0 {
+		return 0, false
+	}
+	return terms, true
+}
+
+// forEachCondStatic walks the components that are conditionally static AND
+// whose domain projection of the capture's activity trace is constant
+// across the capture window, yielding each one's index, addend count, and
+// window-constant load. Both the cache key (AppendCondStaticKey) and the
+// set build (BuildStaticSet) go through this walk, so they agree on which
+// components a set caches by construction.
+func (s *Scene) forEachCondStatic(cap Capture, fn func(i, terms int, load float64)) {
+	plan := cap.Plan
+	tr := cap.Activity
+	if tr == nil {
+		tr = idleTrace
+	}
+	dt := 1 / cap.Band.SampleRate
+	t1 := cap.Start + float64(cap.N-1)*dt
+	for i, c := range s.Components {
+		var terms int
+		if plan != nil {
+			if !plan.active[i] {
+				continue
+			}
+			terms = plan.condTerms[i]
+		} else if t, ok := classifyCondStatic(c, cap.Band, cap.N); ok {
+			terms = t
+		}
+		if terms == 0 {
+			continue
+		}
+		load, constant := tr.DomainConstant(c.(CondStaticRenderer).Domain(), cap.Start, t1)
+		if !constant {
+			continue
+		}
+		fn(i, terms, load)
+	}
+}
+
+// AppendCondStaticKey appends the capture's conditional-static key to dst
+// and returns the extended slice: for every conditionally static component
+// whose domain load is constant across the capture window, the component
+// index (2 bytes big-endian) followed by the load's IEEE-754 bits (8
+// bytes). Two captures with equal static identity and equal keys replay
+// the same cached layers bit for bit; the empty key means no component
+// qualifies under this activity trace. Allocation-free when dst has
+// capacity.
+func (s *Scene) AppendCondStaticKey(dst []byte, cap Capture) []byte {
+	s.forEachCondStatic(cap, func(i, terms int, load float64) {
+		b := math.Float64bits(load)
+		dst = append(dst,
+			byte(i>>8), byte(i),
+			byte(b>>56), byte(b>>48), byte(b>>40), byte(b>>32),
+			byte(b>>24), byte(b>>16), byte(b>>8), byte(b))
+	})
+	return dst
+}
+
 // BuildStaticSet renders the activity-independent layer of the capture:
 // every component the capture's plan (or, without a plan, a direct extent
 // test) leaves active and that classifies itself static has its addend
 // streams rendered standalone, consuming exactly the child-seed draws
-// RenderInto would. cap.Activity is ignored — the build renders against a
-// nil trace, so a misclassified component diverges from the live render
-// immediately rather than matching one scan's activity by accident.
-// Returns nil when no component qualifies.
+// RenderInto would. cap.Activity never feeds the unconditional renders —
+// they run against a nil trace, so a misclassified component diverges from
+// the live render immediately rather than matching one scan's activity by
+// accident. The trace is consulted only to classify conditionally static
+// components (see CondStaticRenderer): those whose domain load is constant
+// across the window render their addend streams for that load, and the set
+// records the resulting cond-static key. Returns nil when no component
+// qualifies.
 func (s *Scene) BuildStaticSet(cap Capture) *StaticSet {
 	if cap.N <= 0 || cap.Band.SampleRate <= 0 {
 		panic(fmt.Sprintf("emsim: invalid static-set capture geometry %+v", cap.Band))
@@ -116,9 +232,13 @@ func (s *Scene) BuildStaticSet(cap Capture) *StaticSet {
 	}
 	// First pass, geometry only: classify and size the arena so every
 	// addend stream comes out of one allocation. A plan carries the
-	// classification precomputed per segment.
+	// classification precomputed per segment. Conditional classification
+	// additionally consults the activity trace for window constancy; the
+	// two layers are disjoint (see classifyCondStatic).
 	layout := make([]int, len(s.Components))
-	total, cached := 0, 0
+	condLayout := make([]int, len(s.Components))
+	condLoad := make([]float64, len(s.Components))
+	total, cached, condCached := 0, 0, 0
 	for i, c := range s.Components {
 		var terms int
 		if plan != nil {
@@ -133,6 +253,13 @@ func (s *Scene) BuildStaticSet(cap Capture) *StaticSet {
 		total += terms
 		cached++
 	}
+	s.forEachCondStatic(cap, func(i, terms int, load float64) {
+		condLayout[i] = terms
+		condLoad[i] = load
+		total += terms
+		cached++
+		condCached++
+	})
 	if cached == 0 {
 		return nil
 	}
@@ -145,6 +272,9 @@ func (s *Scene) BuildStaticSet(cap Capture) *StaticSet {
 		nearFieldGainDB: cap.NearFieldGainDB,
 		ncomp:           len(s.Components),
 		comps:           make([][][]complex128, len(s.Components)),
+	}
+	if condCached > 0 {
+		st.cond = string(s.AppendCondStaticKey(nil, cap))
 	}
 	arena := make([]complex128, total*cap.N)
 	// Second pass: the same root-stream walk as RenderInto, rendering the
@@ -160,12 +290,12 @@ func (s *Scene) BuildStaticSet(cap Capture) *StaticSet {
 	}
 	for i, c := range s.Components {
 		seed := sc.root.Int63()
-		terms := layout[i]
-		if terms == 0 {
+		terms, cond := layout[i], condLayout[i]
+		if terms == 0 && cond == 0 {
 			continue
 		}
 		sc.child.Seed(seed)
-		tvs := make([][]complex128, terms)
+		tvs := make([][]complex128, terms+cond)
 		for t := range tvs {
 			tvs[t], arena = arena[:cap.N:cap.N], arena[cap.N:]
 		}
@@ -173,11 +303,18 @@ func (s *Scene) BuildStaticSet(cap Capture) *StaticSet {
 			sc.ctx.Prep = plan.prep[i]
 		}
 		sc.ctx.Rand = sc.child
-		if terms == 1 {
+		switch {
+		case cond != 0:
+			// Conditionally static: render for the window-constant load the
+			// capture's trace projects (ctx.Activity stays nil — the load is
+			// passed explicitly, so the renderer cannot accidentally depend
+			// on trace shape).
+			c.(CondStaticRenderer).RenderCondStaticTerms(tvs, condLoad[i], &sc.ctx)
+		case terms == 1:
 			// Single-addend components render straight into the zeroed
 			// stream: 0 + t == t for every addend a renderer produces.
 			c.Render(tvs[0], &sc.ctx)
-		} else {
+		default:
 			c.(StaticTermRenderer).RenderStaticTerms(tvs, &sc.ctx)
 		}
 		sc.ctx.Prep = nil
@@ -195,17 +332,26 @@ func (s *Scene) BuildStaticSet(cap Capture) *StaticSet {
 // accumulation chain exactly: the t-th pass leaves dst[j] holding
 // (((dst₀[j]+t₀[j])+t₁[j])+…+t_t[j]), the same association Render builds
 // in its harmonic loop.
-// Four streams are folded per pass: each dst[j] still receives its
-// additions in ascending term order, so the arithmetic is unchanged —
-// blocking only cuts the number of times dst streams through memory.
+// Eight (then four) streams are folded per pass: each dst[j] still
+// receives its additions in ascending term order, so the arithmetic is
+// unchanged — blocking only cuts the number of times dst streams through
+// memory.
 func (st *StaticSet) replay(dst []complex128, i int) {
 	tvs := st.comps[i]
 	k := 0
-	for ; k+4 <= len(tvs); k += 4 {
+	for ; k+8 <= len(tvs); k += 8 {
+		t0, t1, t2, t3 := tvs[k], tvs[k+1], tvs[k+2], tvs[k+3]
+		t4, t5, t6, t7 := tvs[k+4], tvs[k+5], tvs[k+6], tvs[k+7]
+		for j := range dst {
+			dst[j] = dst[j] + t0[j] + t1[j] + t2[j] + t3[j] + t4[j] + t5[j] + t6[j] + t7[j]
+		}
+	}
+	if k+4 <= len(tvs) {
 		t0, t1, t2, t3 := tvs[k], tvs[k+1], tvs[k+2], tvs[k+3]
 		for j := range dst {
 			dst[j] = dst[j] + t0[j] + t1[j] + t2[j] + t3[j]
 		}
+		k += 4
 	}
 	for ; k < len(tvs); k++ {
 		for j, v := range tvs[k] {

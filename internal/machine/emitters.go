@@ -152,6 +152,34 @@ func renderFixedComb(dst []complex128, z, step []complex128, amp []float64) {
 	}
 }
 
+// impulseKernel8 is the shared band-limited interpolation kernel for
+// impulse-train emitters. An ImpulseKernel is immutable after
+// construction, so one instance serves all captures concurrently —
+// previously each render rebuilt it.
+var impulseKernel8 = sig.NewImpulseKernel(8)
+
+// refreshScratch holds the per-render working set of RefreshEmitter: the
+// rank coupling weights and, for the blocked renderer, the surviving
+// pulses' positions, issue times, and real areas. Pooled so steady-state
+// refresh rendering allocates nothing (the weights slice alone used to
+// cost one heap allocation per capture).
+type refreshScratch struct {
+	weights []float64
+	pos, tk []float64
+	qw      []float64
+}
+
+var refreshPool = sync.Pool{New: func() any { return new(refreshScratch) }}
+
+// growWeights sizes the weights slice to ranks, reusing capacity.
+func (sc *refreshScratch) growWeights(ranks int) []float64 {
+	if cap(sc.weights) < ranks {
+		sc.weights = make([]float64, ranks)
+	}
+	sc.weights = sc.weights[:ranks]
+	return sc.weights
+}
+
 // nearGain converts the context's near-field probe setting into a linear
 // amplitude factor for system emitters.
 func nearGain(ctx *emsim.Context) float64 {
@@ -245,8 +273,225 @@ func harmonicsIn(f0 float64, maxN int, f1, f2 float64) []float64 {
 	return out
 }
 
-// Render implements emsim.Component.
+// Render implements emsim.Component. The activity trace is piecewise
+// constant, so by default the render iterates its constant-load runs
+// (emsim.Context.DomainRuns) instead of walking sample by sample: within a
+// run the one-pole control loop is stepped per sample only until its
+// output repeats bitwise (its fixpoint for the run's load — further steps
+// are idempotent, so skipping them is exact), after which the duty phasor
+// and line amplitudes are frozen and the rest of the run renders through
+// the phasor loop alone. Bit-identical to the per-sample walk
+// (renderPerSample, kept as the ctx.NoSegment escape hatch and enforced
+// by the equivalence tests): run loads are exactly the per-sample cursor
+// loads, the loop filter and wander state evolve through the same
+// operations, and renormalization hits the same global sample positions.
 func (g *SwitchingRegulator) Render(dst []complex128, ctx *emsim.Context) {
+	if ctx.NoSegment {
+		g.renderPerSample(dst, ctx)
+		return
+	}
+	if g.MaxHarmonics <= 0 || g.FSw <= 0 {
+		panic(fmt.Sprintf("machine: regulator %q misconfigured", g.Label))
+	}
+	cs := combPool.Get().(*combScratch)
+	defer combPool.Put(cs)
+	pre, _ := ctx.Prep.(*combPrep)
+	var ns []int
+	if pre != nil {
+		ns = pre.ns
+	} else {
+		scan := cs.ns[:0]
+		for n := 1; n <= g.MaxHarmonics; n++ {
+			if ctx.Band.Contains(float64(n) * g.FSw) {
+				scan = append(scan, n)
+			}
+		}
+		cs.ns = scan
+		ns = scan
+	}
+	if len(ns) == 0 {
+		return
+	}
+	r := ctx.Rand
+	dt := ctx.Dt()
+	fs := ctx.Band.SampleRate
+	c1 := cmplx.Abs(sig.PulseHarmonic(g.BaseDuty, 1))
+	a0 := math.Sqrt(math.Pow(10, g.FundamentalDBm/10)) / c1 * nearGain(ctx)
+
+	wander := sig.OU{Sigma: g.WanderSigma, Tau: g.WanderTau}
+	wander.Init(r)
+	bw := g.LoopBw
+	if bw > 0.4*fs {
+		bw = 0.4 * fs
+	}
+	loop := filter.NewOnePole(bw, fs)
+
+	base := 2 * math.Pi * r.Float64()
+	cs.grow(len(ns))
+	z, wpow, dpow, amp := cs.z, cs.wpow, cs.dpow, cs.amp
+	stepStatic := cs.stepStatic
+	if pre != nil {
+		stepStatic = pre.stepStatic
+	}
+	for k, n := range ns {
+		fn := float64(n)
+		s, c := math.Sincos(wrapPhase(fn * base))
+		z[k] = complex(c, s)
+		if pre == nil {
+			s, c = math.Sincos(2 * math.Pi * (fn*g.FSw - ctx.Band.Center) * dt)
+			stepStatic[k] = complex(c, s)
+		}
+		wpow[k] = 1
+	}
+	z = z[:len(ns)]
+	stepStatic = stepStatic[:len(z)]
+	dpow = dpow[:len(z)]
+	amp = amp[:len(z)]
+	runs := ctx.DomainRuns(g.Dom)
+	lastD, lastAmpl := math.NaN(), math.NaN()
+	// prevSm tracks the loop filter's previous output across runs: a Step
+	// that returns the same bits again has reached its fixpoint for the
+	// current input, so the remaining Steps of the run can be skipped.
+	prevSm := math.NaN()
+	noWander := g.WanderSigma == 0
+	renorm := 0
+	for {
+		load, i0, i1, ok := runs.Next()
+		if !ok {
+			break
+		}
+		i := i0
+		settled := false
+		// Head: per-sample until the control loop settles on this run's
+		// load — the same work the per-sample walk does, minus the cursor.
+		for ; i < i1 && !settled; i++ {
+			sm := loop.Step(load)
+			settled = sm == prevSm
+			prevSm = sm
+			d := g.BaseDuty + g.DutySwing*sm
+			ampl := 1 + g.AmpSwing*sm
+			if d != lastD || ampl != lastAmpl {
+				if d != lastD {
+					ds, dc := math.Sincos(-math.Pi * d)
+					sig.PowChain(dpow, ns, complex(dc, ds))
+				}
+				for k, n := range ns {
+					fn := float64(n)
+					x := fn * d
+					mag := d
+					if x != 0 {
+						mag = d * -imag(dpow[k]) / (math.Pi * x)
+					}
+					amp[k] = a0 * mag * ampl
+				}
+				lastD, lastAmpl = d, ampl
+			}
+			df := wander.Step(dt, r)
+			if df != 0 {
+				ws, wc := math.Sincos(2 * math.Pi * df * dt)
+				w := complex(wc, ws)
+				curw := complex(1, 0)
+				m := 0
+				acc := dst[i]
+				for k := range z {
+					dd := ns[k] - m
+					if dd < 8 {
+						for ; dd > 0; dd-- {
+							curw *= w
+						}
+					} else {
+						curw *= sig.Ipow(w, dd)
+					}
+					m = ns[k]
+					v := z[k] * dpow[k]
+					acc += complex(amp[k]*real(v), amp[k]*imag(v))
+					z[k] *= stepStatic[k] * curw
+				}
+				dst[i] = acc
+			} else {
+				acc := dst[i]
+				for k := range z {
+					v := z[k] * dpow[k]
+					acc += complex(amp[k]*real(v), amp[k]*imag(v))
+					z[k] *= stepStatic[k] * wpow[k]
+				}
+				dst[i] = acc
+			}
+			if renorm++; renorm >= sig.RotatorRenorm {
+				renorm = 0
+				for k := range z {
+					z[k] = sig.Renormalize(z[k])
+				}
+			}
+		}
+		// Tail: duty phasor and amplitudes are frozen for the rest of the
+		// run. With no wander process the loop is pure phasor advance
+		// (OU.Step with Sigma == 0 draws nothing and returns 0, so not
+		// calling it is exact); otherwise the wander draw stays per sample.
+		if noWander {
+			for ; i < i1; i++ {
+				acc := dst[i]
+				for k := range z {
+					v := z[k] * dpow[k]
+					acc += complex(amp[k]*real(v), amp[k]*imag(v))
+					z[k] *= stepStatic[k] * wpow[k]
+				}
+				dst[i] = acc
+				if renorm++; renorm >= sig.RotatorRenorm {
+					renorm = 0
+					for k := range z {
+						z[k] = sig.Renormalize(z[k])
+					}
+				}
+			}
+			continue
+		}
+		for ; i < i1; i++ {
+			df := wander.Step(dt, r)
+			if df != 0 {
+				ws, wc := math.Sincos(2 * math.Pi * df * dt)
+				w := complex(wc, ws)
+				curw := complex(1, 0)
+				m := 0
+				acc := dst[i]
+				for k := range z {
+					dd := ns[k] - m
+					if dd < 8 {
+						for ; dd > 0; dd-- {
+							curw *= w
+						}
+					} else {
+						curw *= sig.Ipow(w, dd)
+					}
+					m = ns[k]
+					v := z[k] * dpow[k]
+					acc += complex(amp[k]*real(v), amp[k]*imag(v))
+					z[k] *= stepStatic[k] * curw
+				}
+				dst[i] = acc
+			} else {
+				acc := dst[i]
+				for k := range z {
+					v := z[k] * dpow[k]
+					acc += complex(amp[k]*real(v), amp[k]*imag(v))
+					z[k] *= stepStatic[k] * wpow[k]
+				}
+				dst[i] = acc
+			}
+			if renorm++; renorm >= sig.RotatorRenorm {
+				renorm = 0
+				for k := range z {
+					z[k] = sig.Renormalize(z[k])
+				}
+			}
+		}
+	}
+}
+
+// renderPerSample is the pre-segmentation render path, kept verbatim as
+// the ctx.NoSegment escape hatch and as the reference the equivalence
+// tests hold the segmented path to.
+func (g *SwitchingRegulator) renderPerSample(dst []complex128, ctx *emsim.Context) {
 	if g.MaxHarmonics <= 0 || g.FSw <= 0 {
 		panic(fmt.Sprintf("machine: regulator %q misconfigured", g.Label))
 	}
@@ -393,6 +638,134 @@ func (g *SwitchingRegulator) Render(dst []complex128, ctx *emsim.Context) {
 	}
 }
 
+// CondStaticTerms implements emsim.CondStaticRenderer: the regulator's
+// render depends on the activity trace only through its domain load, so a
+// capture whose window load is constant is a pure function of (identity,
+// load) — one addend per in-band harmonic.
+func (g *SwitchingRegulator) CondStaticTerms(band emsim.Band, _ int) (int, bool) {
+	terms := 0
+	for n := 1; n <= g.MaxHarmonics; n++ {
+		if band.Contains(float64(n) * g.FSw) {
+			terms++
+		}
+	}
+	return terms, true
+}
+
+// RenderCondStaticTerms implements emsim.CondStaticRenderer. Under a
+// window-constant load the one-pole loop is at its fixpoint from the first
+// sample (Step primes to exactly its input, and further steps with the
+// same input return the same bits), so the duty phasor and line amplitudes
+// are constants of the capture; what remains per sample is the wander
+// process and the phasor advance, mirrored from Render draw for draw.
+func (g *SwitchingRegulator) RenderCondStaticTerms(terms [][]complex128, load float64, ctx *emsim.Context) {
+	if g.MaxHarmonics <= 0 || g.FSw <= 0 {
+		panic(fmt.Sprintf("machine: regulator %q misconfigured", g.Label))
+	}
+	cs := combPool.Get().(*combScratch)
+	defer combPool.Put(cs)
+	pre, _ := ctx.Prep.(*combPrep)
+	var ns []int
+	if pre != nil {
+		ns = pre.ns
+	} else {
+		scan := cs.ns[:0]
+		for n := 1; n <= g.MaxHarmonics; n++ {
+			if ctx.Band.Contains(float64(n) * g.FSw) {
+				scan = append(scan, n)
+			}
+		}
+		cs.ns = scan
+		ns = scan
+	}
+	if len(terms) != len(ns) {
+		panic(fmt.Sprintf("machine: regulator %q has %d in-band harmonics, %d term streams", g.Label, len(ns), len(terms)))
+	}
+	if len(ns) == 0 {
+		return
+	}
+	r := ctx.Rand
+	dt := ctx.Dt()
+	c1 := cmplx.Abs(sig.PulseHarmonic(g.BaseDuty, 1))
+	a0 := math.Sqrt(math.Pow(10, g.FundamentalDBm/10)) / c1 * nearGain(ctx)
+	wander := sig.OU{Sigma: g.WanderSigma, Tau: g.WanderTau}
+	wander.Init(r)
+	base := 2 * math.Pi * r.Float64()
+	cs.grow(len(ns))
+	z, wpow, dpow, amp := cs.z, cs.wpow, cs.dpow, cs.amp
+	stepStatic := cs.stepStatic
+	if pre != nil {
+		stepStatic = pre.stepStatic
+	}
+	for k, n := range ns {
+		fn := float64(n)
+		s, c := math.Sincos(wrapPhase(fn * base))
+		z[k] = complex(c, s)
+		if pre == nil {
+			s, c = math.Sincos(2 * math.Pi * (fn*g.FSw - ctx.Band.Center) * dt)
+			stepStatic[k] = complex(c, s)
+		}
+		wpow[k] = 1
+	}
+	z = z[:len(ns)]
+	stepStatic = stepStatic[:len(z)]
+	dpow = dpow[:len(z)]
+	amp = amp[:len(z)]
+	// The smoothed load is exactly `load` at every sample (see the method
+	// comment), so d and ampl are the constants Render's guard computes on
+	// the first sample — by the same expressions.
+	sm := load
+	d := g.BaseDuty + g.DutySwing*sm
+	ampl := 1 + g.AmpSwing*sm
+	ds, dc := math.Sincos(-math.Pi * d)
+	sig.PowChain(dpow, ns, complex(dc, ds))
+	for k, n := range ns {
+		fn := float64(n)
+		x := fn * d
+		mag := d
+		if x != 0 {
+			mag = d * -imag(dpow[k]) / (math.Pi * x)
+		}
+		amp[k] = a0 * mag * ampl
+	}
+	renorm := 0
+	for i := 0; i < ctx.N; i++ {
+		df := wander.Step(dt, r)
+		if df != 0 {
+			ws, wc := math.Sincos(2 * math.Pi * df * dt)
+			w := complex(wc, ws)
+			curw := complex(1, 0)
+			m := 0
+			for k := range z {
+				dd := ns[k] - m
+				if dd < 8 {
+					for ; dd > 0; dd-- {
+						curw *= w
+					}
+				} else {
+					curw *= sig.Ipow(w, dd)
+				}
+				m = ns[k]
+				v := z[k] * dpow[k]
+				terms[k][i] = complex(amp[k]*real(v), amp[k]*imag(v))
+				z[k] *= stepStatic[k] * curw
+			}
+		} else {
+			for k := range z {
+				v := z[k] * dpow[k]
+				terms[k][i] = complex(amp[k]*real(v), amp[k]*imag(v))
+				z[k] *= stepStatic[k] * wpow[k]
+			}
+		}
+		if renorm++; renorm >= sig.RotatorRenorm {
+			renorm = 0
+			for k := range z {
+				z[k] = sig.Renormalize(z[k])
+			}
+		}
+	}
+}
+
 // ConstantOnTimeRegulator models the AMD laptop's core regulator (§4.4):
 // it keeps the switch on for a fixed time each cycle and varies the
 // switching *frequency* with load — frequency modulation, not amplitude
@@ -447,7 +820,6 @@ func (g *ConstantOnTimeRegulator) Render(dst []complex128, ctx *emsim.Context) {
 	q := math.Sqrt(math.Pow(10, g.FundamentalDBm/10)) / g.F0 * nearGain(ctx)
 	wander := sig.OU{Sigma: g.WanderSigma, Tau: g.WanderTau}
 	wander.Init(r)
-	kernel := sig.NewImpulseKernel(8)
 	cur := ctx.Loads()
 	duration := float64(ctx.N) / fs
 	// Random phase within the first cycle.
@@ -465,7 +837,7 @@ func (g *ConstantOnTimeRegulator) Render(dst []complex128, ctx *emsim.Context) {
 			// Complex area includes the baseband downconversion phase.
 			ph := -2 * math.Pi * ctx.Band.Center * t
 			s, c := math.Sincos(ph)
-			kernel.Add(dst, pos, complex(q*c, q*s), fs)
+			impulseKernel8.Add(dst, pos, complex(q*c, q*s), fs)
 		}
 	}
 }
@@ -536,7 +908,18 @@ func (g *RefreshEmitter) Carriers(f1, f2 float64) []float64 {
 // the signal of §4.2), so the planner never skips it.
 func (g *RefreshEmitter) BandExtent() emsim.Extent { return emsim.Everywhere() }
 
-// Render implements emsim.Component.
+// Render implements emsim.Component. The default path renders the
+// impulse train in two blocked phases: (1) walk the refresh grid drawing
+// every displacement — structurally identical to the per-pulse walk, so
+// the PRNG stream is unchanged — and collect the pulses that survive the
+// window clip; (2) evaluate each surviving pulse's downconversion phasor
+// and deposit its kernel taps in one fused pass through
+// sig.ImpulseKernel.AddTrain, whose interior fast path runs
+// bounds-check-free (fusing keeps the phasors out of a scratch array the
+// deposit loop would immediately re-read). Pulses deposit in grid order
+// with phase and tap arithmetic identical to per-pulse Sincos + Add, so
+// output is bit-identical to the ctx.NoSegment escape hatch below
+// (enforced by the equivalence tests).
 func (g *RefreshEmitter) Render(dst []complex128, ctx *emsim.Context) {
 	if g.Ranks <= 0 {
 		panic(fmt.Sprintf("machine: refresh emitter %q needs at least one rank", g.Label))
@@ -544,7 +927,9 @@ func (g *RefreshEmitter) Render(dst []complex128, ctx *emsim.Context) {
 	r := ctx.Rand
 	fs := ctx.Band.SampleRate
 	gain := nearGain(ctx)
-	weights := make([]float64, g.Ranks)
+	sc := refreshPool.Get().(*refreshScratch)
+	defer refreshPool.Put(sc)
+	weights := sc.growWeights(g.Ranks)
 	for i := range weights {
 		weights[i] = 1
 	}
@@ -556,7 +941,6 @@ func (g *RefreshEmitter) Render(dst []complex128, ctx *emsim.Context) {
 	// all 1 in far field, so Σw = Ranks there).
 	q := math.Sqrt(math.Pow(10, g.LineDBm/10)) * g.TRefi / float64(g.Ranks) * gain
 
-	kernel := sig.NewImpulseKernel(8)
 	cur := ctx.Loads()
 	duration := float64(ctx.N) / fs
 	// Iterate the ideal refresh grid, displacing each command by
@@ -564,6 +948,38 @@ func (g *RefreshEmitter) Render(dst []complex128, ctx *emsim.Context) {
 	// overlapping sample 0 are included.
 	startK := int(math.Floor((ctx.Start - 2*g.TRefi) / g.TRefi))
 	endT := ctx.Start + duration + 2*g.TRefi
+	if ctx.NoSegment {
+		// Per-pulse escape hatch: the pre-blocking path, one kernel
+		// deposit per surviving pulse.
+		for k := startK; ; k++ {
+			base := float64(k) * g.TRefi
+			if base > endT {
+				break
+			}
+			load := g.Dom.Of(cur.At(math.Max(base, ctx.Start)))
+			for rank := 0; rank < g.Ranks; rank++ {
+				tNom := base + float64(rank)*g.TRefi/float64(g.Ranks)
+				disp := g.TRefi * (g.JitterIdle*r.NormFloat64() + g.DisruptGain*load*(2*r.Float64()-1))
+				if g.IntervalDither > 0 {
+					disp += g.TRefi * g.IntervalDither * (2*r.Float64() - 1)
+				}
+				tk := tNom + disp
+				pos := (tk - ctx.Start) * fs
+				if pos < -16 || pos > float64(ctx.N)+16 {
+					continue
+				}
+				ph := -2 * math.Pi * ctx.Band.Center * tk
+				s, c := math.Sincos(ph)
+				qw := q * weights[rank]
+				impulseKernel8.Add(dst, pos, complex(qw*c, qw*s), fs)
+			}
+		}
+		return
+	}
+	// Phase 1: the same grid walk and draw sequence as the per-pulse path
+	// (every displacement is drawn before the window clip, exactly as
+	// before), collecting the surviving pulses.
+	poss, tks, qws := sc.pos[:0], sc.tk[:0], sc.qw[:0]
 	for k := startK; ; k++ {
 		base := float64(k) * g.TRefi
 		if base > endT {
@@ -581,12 +997,17 @@ func (g *RefreshEmitter) Render(dst []complex128, ctx *emsim.Context) {
 			if pos < -16 || pos > float64(ctx.N)+16 {
 				continue
 			}
-			ph := -2 * math.Pi * ctx.Band.Center * tk
-			s, c := math.Sincos(ph)
-			qw := q * weights[rank]
-			kernel.Add(dst, pos, complex(qw*c, qw*s), fs)
+			poss = append(poss, pos)
+			tks = append(tks, tk)
+			qws = append(qws, q*weights[rank])
 		}
 	}
+	sc.pos, sc.tk, sc.qw = poss, tks, qws
+	// Phase 2: fused downconversion and tap deposition, in the same pulse
+	// order. pc·tk associates exactly as the inline -2·π·Center·tk did
+	// (left to right), so the phases are bit-identical.
+	pc := -2 * math.Pi * ctx.Band.Center
+	impulseKernel8.AddTrain(dst, poss, tks, qws, pc, fs)
 }
 
 // SSCClock models a (possibly spread-spectrum) digital clock: a square
@@ -713,6 +1134,35 @@ func (g *SSCClock) StaticTerms(band emsim.Band, _ int) (int, bool) {
 // 1 + 0·load ≡ 1 ≡ IdleFrac when IdleFrac == 1), writing each harmonic's
 // addend stream instead of accumulating into dst.
 func (g *SSCClock) RenderStaticTerms(terms [][]complex128, ctx *emsim.Context) {
+	g.renderTermsEnv(terms, g.IdleFrac, ctx)
+}
+
+// CondStaticTerms implements emsim.CondStaticRenderer: the clock reads
+// the activity trace only through its domain load's envelope, so a
+// window-constant load freezes the envelope and the swept comb becomes a
+// pure function of (identity, load) — one addend per in-band harmonic.
+// (Clocks that are unconditionally static — DomainNone or IdleFrac 1 —
+// classify through StaticTerms instead, which takes precedence.)
+func (g *SSCClock) CondStaticTerms(band emsim.Band, _ int) (int, bool) {
+	terms := 0
+	for n := 1; n <= g.MaxHarmonics; n += 2 {
+		if g.sscInBand(band, n) {
+			terms++
+		}
+	}
+	return terms, true
+}
+
+// RenderCondStaticTerms implements emsim.CondStaticRenderer: the shared
+// term renderer with the envelope frozen at the value Render's per-sample
+// expression yields for the window-constant load.
+func (g *SSCClock) RenderCondStaticTerms(terms [][]complex128, load float64, ctx *emsim.Context) {
+	g.renderTermsEnv(terms, g.IdleFrac+(1-g.IdleFrac)*load, ctx)
+}
+
+// renderTermsEnv writes the clock's addend streams under a constant
+// envelope env, drawing from ctx.Rand exactly as Render does.
+func (g *SSCClock) renderTermsEnv(terms [][]complex128, env float64, ctx *emsim.Context) {
 	cs := combPool.Get().(*combScratch)
 	defer combPool.Put(cs)
 	pre, _ := ctx.Prep.(*combPrep)
@@ -746,7 +1196,6 @@ func (g *SSCClock) RenderStaticTerms(terms [][]complex128, ctx *emsim.Context) {
 	if pre != nil {
 		stepStatic = pre.stepStatic
 	}
-	env := g.IdleFrac
 	for k, n := range ns {
 		fn := float64(n)
 		s, c := math.Sincos(wrapPhase(fn * ssc.Phase()))
@@ -779,9 +1228,107 @@ func (g *SSCClock) RenderStaticTerms(terms [][]complex128, ctx *emsim.Context) {
 	}
 }
 
-// Render implements emsim.Component.
+// Render implements emsim.Component. The default path iterates the
+// activity trace's constant-load runs (emsim.Context.DomainRuns): the
+// envelope and harmonic amplitudes are refreshed once per run instead of
+// being re-derived (and guard-compared) every sample, while the sweep
+// chain, phasor updates, and renorm schedule advance per sample exactly
+// as in the per-sample walk (renderPerSample, kept as the ctx.NoSegment
+// escape hatch) — run loads are the per-sample cursor loads by
+// construction, so both paths are bit-identical.
 func (g *SSCClock) Render(dst []complex128, ctx *emsim.Context) {
+	if ctx.NoSegment {
+		g.renderPerSample(dst, ctx)
+		return
+	}
 	// Collect odd harmonics whose swept range intersects the band.
+	cs := combPool.Get().(*combScratch)
+	defer combPool.Put(cs)
+	pre, _ := ctx.Prep.(*combPrep)
+	var ns []int
+	if pre != nil {
+		ns = pre.ns
+	} else {
+		scan := cs.ns[:0]
+		for n := 1; n <= g.MaxHarmonics; n += 2 {
+			if g.sscInBand(ctx.Band, n) {
+				scan = append(scan, n)
+			}
+		}
+		cs.ns = scan
+		ns = scan
+	}
+	if len(ns) == 0 {
+		return
+	}
+	r := ctx.Rand
+	dt := ctx.Dt()
+	a0 := math.Sqrt(math.Pow(10, g.FundamentalDBm/10)) * nearGain(ctx)
+	ssc := sig.SSC{F0: g.F0, SpreadHz: g.SpreadHz, RateHz: g.RateHz, Profile: g.Profile}
+	ssc.Start(r)
+	cs.grow(len(ns))
+	z, fpow, amp := cs.z, cs.wpow, cs.amp
+	stepStatic := cs.stepStatic
+	if pre != nil {
+		stepStatic = pre.stepStatic
+	}
+	for k, n := range ns {
+		fn := float64(n)
+		s, c := math.Sincos(wrapPhase(fn * ssc.Phase()))
+		z[k] = complex(c, s)
+		if pre == nil {
+			s, c = math.Sincos(2 * math.Pi * (fn*g.F0 - ctx.Band.Center) * dt)
+			stepStatic[k] = complex(c, s)
+		}
+		fpow[k] = 1
+	}
+	spread := g.SpreadHz != 0
+	lastEnv := math.NaN()
+	runs := ctx.DomainRuns(g.Dom)
+	renorm := 0
+	for {
+		load, i0, i1, ok := runs.Next()
+		if !ok {
+			break
+		}
+		// Envelope and amplitudes are constants of the run — the same
+		// expressions the per-sample guard evaluates, hoisted.
+		env := g.IdleFrac + (1-g.IdleFrac)*load
+		if env != lastEnv {
+			for k, n := range ns {
+				amp[k] = a0 * env / float64(n) // square-wave harmonic rolloff
+			}
+			lastEnv = env
+		}
+		for i := i0; i < i1; i++ {
+			if spread {
+				fs2, fc2 := math.Sincos(2 * math.Pi * (ssc.Freq() - g.F0) * dt)
+				sig.PowChain(fpow, ns, complex(fc2, fs2))
+			}
+			acc := dst[i]
+			for k := range ns {
+				acc += complex(amp[k]*real(z[k]), amp[k]*imag(z[k]))
+				z[k] *= stepStatic[k] * fpow[k]
+			}
+			dst[i] = acc
+			// ssc's own phase accumulator is unused — the per-harmonic
+			// phasors above integrate n·Freq() directly — but Step also
+			// advances the sweep position, which Freq() reads.
+			ssc.Step(dt, 0)
+			if renorm++; renorm >= sig.RotatorRenorm {
+				renorm = 0
+				for k := range z {
+					z[k] = sig.Renormalize(z[k])
+				}
+			}
+		}
+	}
+}
+
+// renderPerSample is the pre-segmentation render path, kept verbatim as
+// the ctx.NoSegment escape hatch and as the reference the equivalence
+// tests hold the segmented path to.
+func (g *SSCClock) renderPerSample(dst []complex128, ctx *emsim.Context) {
 	cs := combPool.Get().(*combScratch)
 	defer combPool.Put(cs)
 	pre, _ := ctx.Prep.(*combPrep)

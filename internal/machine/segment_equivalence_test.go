@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"fase/internal/activity"
+	"fase/internal/emsim"
+	"fase/internal/microbench"
+)
+
+// noWanderScene exercises the segmented render paths randomScene cannot:
+// a wander-free regulator (whose constant-load tail renders through the
+// fused loop with no per-sample OU draw) and an unspread but
+// load-following clock (the p3m-laptop's SDRAM clock class).
+func noWanderScene(r *rand.Rand) *emsim.Scene {
+	scene := &emsim.Scene{}
+	scene.Add(
+		&SwitchingRegulator{
+			Label:          "quiet reg",
+			FSw:            250e3 + r.Float64()*200e3,
+			BaseDuty:       0.08 + r.Float64()*0.2,
+			DutySwing:      0.03 + r.Float64()*0.05,
+			AmpSwing:       r.Float64() * 0.3,
+			FundamentalDBm: -110,
+			MaxHarmonics:   1 + r.Intn(8),
+			LoopBw:         65e3,
+			Dom:            activity.DomainMemCtl,
+		},
+		&SSCClock{
+			Label:          "unspread memory clock",
+			F0:             0.5e6 + r.Float64()*2e6,
+			FundamentalDBm: -112,
+			IdleFrac:       0.5,
+			MaxHarmonics:   1 + 2*r.Intn(2),
+			Dom:            activity.DomainDRAM,
+		},
+		&emsim.Background{FloorDBmPerHz: -172},
+	)
+	return scene
+}
+
+// TestSegmentedRenderEquivalence is the run-length segmentation's core
+// property test: the default render (change-point segmented regulators
+// and clocks, blocked refresh impulse train) must be bit-identical to the
+// per-sample escape hatch (Capture.NoSegment) — across randomized scenes,
+// bands, seeds, and activity traces (idle, constant, and alternating at a
+// rate that splits every capture into thousands of runs).
+func TestSegmentedRenderEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(271))
+	for trial := 0; trial < 12; trial++ {
+		scene := randomScene(r)
+		if trial%3 == 0 {
+			scene = noWanderScene(r)
+		}
+		n := 1 << (9 + r.Intn(3)) // 512..2048
+		band := emsim.Band{
+			Center:     100e3 + r.Float64()*4e6,
+			SampleRate: float64(n) * (50 + r.Float64()*200),
+		}
+		kinds := []activity.Kind{activity.LDM, activity.LDL1, activity.LDL2, activity.Idle}
+		traces := []*activity.Trace{
+			nil,
+			microbench.Constant(kinds[r.Intn(len(kinds))]),
+			microbench.Generate(microbench.Config{
+				X: kinds[r.Intn(len(kinds))], Y: kinds[r.Intn(len(kinds))],
+				FAlt:   30e3 + r.Float64()*20e3,
+				Jitter: microbench.DefaultJitter(), Seed: r.Int63(),
+			}, 0.5+float64(n)/band.SampleRate),
+		}
+		for ti, trace := range traces {
+			capt := emsim.Capture{
+				Band: band, N: n,
+				Start:     r.Float64() * 0.2,
+				Seed:      r.Int63(),
+				Activity:  trace,
+				NearField: r.Intn(4) == 0, NearFieldGainDB: 30,
+			}
+			want := make([]complex128, n)
+			ref := capt
+			ref.NoSegment = true
+			scene.RenderInto(want, ref)
+			got := make([]complex128, n)
+			scene.RenderInto(got, capt)
+			bitsEqual(t, "segmented render", trial*100+ti, got, want)
+		}
+	}
+}

@@ -52,19 +52,32 @@ func TestStaticLayerRenderEquivalence(t *testing.T) {
 
 		plan := scene.Plan(band, n)
 		for _, withPlan := range []bool{false, true} {
-			build := capt
+			base := capt
 			if withPlan {
-				build.Plan = plan
+				base.Plan = plan
 			}
-			static := scene.BuildStaticSet(build)
-			if static == nil {
-				continue
-			}
-			cached += static.Components()
-			// One static set serves every activity trace of the campaign.
+			// One static set serves every capture whose conditional-static
+			// key matches — the unconditional layer always does, and the
+			// conditional layer only when the window-constant loads agree.
+			// Captures keying differently rebuild, mirroring the analyzer's
+			// two-level cache.
+			sets := map[string]*emsim.StaticSet{}
 			for ti, trace := range traces {
+				build := base
+				build.Activity = trace
+				key := string(scene.AppendCondStaticKey(nil, build))
+				static, ok := sets[key]
+				if !ok {
+					static = scene.BuildStaticSet(build)
+					sets[key] = static
+					if static != nil {
+						cached += static.Components()
+					}
+				}
+				if static == nil {
+					continue
+				}
 				live, replayed := build, build
-				live.Activity, replayed.Activity = trace, trace
 				replayed.Static = static
 				want := make([]complex128, n)
 				scene.RenderInto(want, live)

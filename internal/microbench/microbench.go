@@ -136,6 +136,10 @@ func Generate(cfg Config, duration float64) *activity.Trace {
 	yLoad := activity.LoadOf(cfg.Y)
 
 	tr := &activity.Trace{}
+	// The mean real-time period is period·meanMult = 1/FAlt, so the
+	// expected segment count is 2·duration·FAlt; a little headroom keeps
+	// the append loop from ever regrowing (and re-copying) the slice.
+	tr.Segments = make([]activity.Segment, 0, 2*int(duration*cfg.FAlt+16)*9/8)
 	t := 0.0
 	for t < duration {
 		dx := period * duty * cfg.Jitter.draw(r)

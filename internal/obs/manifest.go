@@ -37,7 +37,12 @@ type Manifest struct {
 	FFTSeconds    float64               `json:"fft_seconds"`
 	Planner       PlannerStats          `json:"planner"`
 	Caches        map[string]CacheStats `json:"caches"`
-	Detections    []DetectionRecord     `json:"detections"`
+	// RenderComponents attributes live render wall time (and static-cache
+	// replays) to individual scene components, sorted by wall time
+	// descending. Present only on runs whose captures were instrumented
+	// (see Run.AddComponentRender); older manifests omit it.
+	RenderComponents []ComponentRenderStats `json:"render_components,omitempty"`
+	Detections       []DetectionRecord      `json:"detections"`
 	// Accuracy is present only on accuracy-harness runs (internal/verify):
 	// the corpus-wide ground-truth scoring, so a manifest archive carries
 	// detection quality alongside cost.
@@ -101,6 +106,16 @@ type PlannerStats struct {
 	StaticComponentsCached int64         `json:"static_components_cached"`
 	StaticReplays          int64         `json:"static_component_replays"`
 	Segments               []SegmentPlan `json:"segments"`
+}
+
+// ComponentRenderStats is one scene component's render attribution: how
+// many times it was rendered live (and the wall time those renders cost)
+// vs replayed from the static cache.
+type ComponentRenderStats struct {
+	Name        string  `json:"name"`
+	Renders     int64   `json:"renders"`
+	Replays     int64   `json:"replays"`
+	WallSeconds float64 `json:"wall_seconds"`
 }
 
 // CacheStats is one cache's hit/miss record during the run.
@@ -219,6 +234,14 @@ func ValidateManifest(data []byte) error {
 		}
 		if c.Hits < 0 || c.Misses < 0 || c.HitRate < 0 || c.HitRate > 1 {
 			return fmt.Errorf("obs: cache %q has malformed stats %+v", name, c)
+		}
+	}
+	for _, c := range m.RenderComponents {
+		if c.Name == "" {
+			return fmt.Errorf("obs: render component with empty name")
+		}
+		if c.Renders < 0 || c.Replays < 0 || c.WallSeconds < 0 {
+			return fmt.Errorf("obs: render component %q has negative stats %+v", c.Name, c)
 		}
 	}
 	if a := m.Accuracy; a != nil {

@@ -55,6 +55,11 @@ const (
 	MetricDetections           = "fase_core_detections_total"
 	MetricRenderSeconds        = "fase_specan_render_seconds"
 	MetricFFTSeconds           = "fase_specan_fft_seconds"
+	// MetricRenderComponentSeconds is the histogram of single-component
+	// live-render wall times, observed by instrumented captures (see
+	// Run.AddComponentRender) — the distribution behind the manifest's
+	// per-component table.
+	MetricRenderComponentSeconds = "fase_render_component_seconds"
 )
 
 // Counter is a monotonically increasing atomic counter. The zero value is

@@ -334,6 +334,42 @@ func TestRunStagesAndManifest(t *testing.T) {
 	}
 }
 
+func TestRunComponentRenderStats(t *testing.T) {
+	run := NewRun()
+	end := run.Stage("sweeps")
+	// Let the stage dominate the run's wall time so validation's stage-sum
+	// check has a meaningful denominator.
+	time.Sleep(5 * time.Millisecond)
+	end()
+	run.Captures.Inc()
+	run.AddComponentRender("reg A", 0.002)
+	run.AddComponentRender("reg A", 0.003)
+	run.AddComponentRender("crystal", 0.001)
+	run.AddComponentReplay("crystal")
+	run.AddComponentReplay("crystal")
+	m := run.Finish("cfg", 0, nil)
+	if len(m.RenderComponents) != 2 {
+		t.Fatalf("render components: %+v", m.RenderComponents)
+	}
+	// Sorted by wall time, heaviest first.
+	if m.RenderComponents[0].Name != "reg A" || m.RenderComponents[0].Renders != 2 {
+		t.Errorf("heaviest component: %+v", m.RenderComponents[0])
+	}
+	if m.RenderComponents[0].WallSeconds < 0.005-1e-12 {
+		t.Errorf("wall not accumulated: %+v", m.RenderComponents[0])
+	}
+	if c := m.RenderComponents[1]; c.Name != "crystal" || c.Renders != 1 || c.Replays != 2 {
+		t.Errorf("replay attribution: %+v", c)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateManifest(data); err != nil {
+		t.Errorf("manifest with component stats fails validation: %v", err)
+	}
+}
+
 func TestFinishSanitizesNonFinite(t *testing.T) {
 	run := NewRun()
 	run.Stage("s")()
@@ -381,6 +417,12 @@ func TestValidateManifestRejects(t *testing.T) {
 		}},
 		{"detection without harmonic", func(m *Manifest) {
 			m.Detections = []DetectionRecord{{FreqHz: 1, SubScores: []HarmonicScore{{Harmonic: 1}}}}
+		}},
+		{"unnamed render component", func(m *Manifest) {
+			m.RenderComponents = []ComponentRenderStats{{Renders: 1, WallSeconds: 0.1}}
+		}},
+		{"negative render component", func(m *Manifest) {
+			m.RenderComponents = []ComponentRenderStats{{Name: "reg", Renders: -1}}
 		}},
 	}
 	for _, tc := range cases {

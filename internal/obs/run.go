@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"time"
 )
@@ -44,11 +45,25 @@ type Run struct {
 	startCPU  float64
 	startSnap Snapshot
 
-	mu       sync.Mutex
-	stages   []StageTiming
-	segments []SegmentPlan
-	manifest *Manifest
+	mu         sync.Mutex
+	stages     []StageTiming
+	segments   []SegmentPlan
+	components map[string]*componentStat
+	manifest   *Manifest
 }
+
+// componentStat accumulates one component's render attribution (guarded
+// by Run.mu; the sweep workers call AddComponentRender concurrently).
+type componentStat struct {
+	renders int64
+	replays int64
+	wall    float64
+}
+
+// renderComponentSeconds is the process-wide distribution of component
+// render times; instrumented runs feed it alongside their own table.
+var renderComponentSeconds = Default.Histogram(MetricRenderComponentSeconds,
+	ExpBuckets(1e-6, 4, 12))
 
 // NewRun starts a run clock and snapshots the Default registry so Finish
 // can attribute metric deltas to this run.
@@ -86,6 +101,47 @@ func (r *Run) RecordPlan(centerHz, sampleRate float64, samples, active, skipped 
 	r.segments = append(r.segments, SegmentPlan{CenterHz: centerHz, SampleRate: sampleRate,
 		Samples: samples, Active: active, Skipped: skipped})
 	r.mu.Unlock()
+}
+
+// AddComponentRender attributes one live component render to the run: the
+// wall time feeds both the fase_render_component_seconds histogram and the
+// manifest's per-component table. Callers gate on a non-nil run before
+// timing, so uninstrumented rendering pays only the nil check.
+func (r *Run) AddComponentRender(name string, seconds float64) {
+	if r == nil {
+		return
+	}
+	renderComponentSeconds.Observe(seconds)
+	r.mu.Lock()
+	cs := r.component(name)
+	cs.renders++
+	cs.wall += seconds
+	r.mu.Unlock()
+}
+
+// AddComponentReplay attributes one static-cache replay to the component —
+// a render the cache saved, counted so the table shows both what was paid
+// and what was avoided.
+func (r *Run) AddComponentReplay(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.component(name).replays++
+	r.mu.Unlock()
+}
+
+// component returns name's accumulator; callers hold r.mu.
+func (r *Run) component(name string) *componentStat {
+	cs, ok := r.components[name]
+	if !ok {
+		if r.components == nil {
+			r.components = make(map[string]*componentStat)
+		}
+		cs = &componentStat{}
+		r.components[name] = cs
+	}
+	return cs
 }
 
 // Stages returns a copy of the stage timings recorded so far.
@@ -148,6 +204,20 @@ func (r *Run) Finish(config any, simulatedSeconds float64, detections []Detectio
 			"render_static":   cacheStats(delta, MetricStaticCacheHits, MetricStaticCacheMisses),
 		},
 		Detections: sanitizeDetections(detections),
+	}
+	if len(r.components) > 0 {
+		comps := make([]ComponentRenderStats, 0, len(r.components))
+		for name, cs := range r.components {
+			comps = append(comps, ComponentRenderStats{
+				Name: name, Renders: cs.renders, Replays: cs.replays, WallSeconds: cs.wall})
+		}
+		sort.Slice(comps, func(i, j int) bool {
+			if comps[i].WallSeconds != comps[j].WallSeconds {
+				return comps[i].WallSeconds > comps[j].WallSeconds
+			}
+			return comps[i].Name < comps[j].Name
+		})
+		m.RenderComponents = comps
 	}
 	r.manifest = m
 	return m

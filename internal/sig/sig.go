@@ -383,3 +383,70 @@ func (k *ImpulseKernel) Add(dst []complex128, pos float64, area complex128, fs f
 		c, cPrev = k.twoCosD*c-cPrev, c
 	}
 }
+
+// AddTrain deposits a batch of downconverted impulses: for each pulse p
+// it computes the carrier phasor at the pulse time, area_p =
+// amp[p]·e^{i·omega·t[p]}, and deposits it at sample position pos[p] —
+// bit-identical to calling math.Sincos(omega·t[p]) and Add for each pulse
+// in order, since float addition into dst is applied pulse-major either
+// way. The fused form exists for the blocked impulse-train renderers: the
+// kernel geometry loads once, the interior fast path runs over a
+// bounds-check-free subslice, the per-pulse call overhead disappears, and
+// the carrier phasor never round-trips through a scratch array — the tap
+// arithmetic itself (recurrence seeds, sinc division, windowing,
+// accumulation order) is exactly Add's.
+func (k *ImpulseKernel) AddTrain(dst []complex128, pos, t, amp []float64, omega, fs float64) {
+	if len(pos) != len(t) || len(pos) != len(amp) {
+		panic(fmt.Sprintf("sig: AddTrain with %d positions, %d times, %d amplitudes",
+			len(pos), len(t), len(amp)))
+	}
+	h := k.halfTaps
+	dTheta, twoCosD := k.dTheta, k.twoCosD
+	cfs := complex(fs, 0)
+	for p, ps := range pos {
+		center := int(math.Round(ps))
+		osn, osc := math.Sincos(omega * t[p])
+		a := amp[p]
+		pa := complex(a*osc, a*osn) * cfs
+		lo := center - h
+		u0 := float64(lo) - ps
+		s := math.Sin(math.Pi * u0)
+		theta0 := u0 * dTheta
+		c := math.Cos(theta0)
+		cPrev := math.Cos(theta0 - dTheta)
+		if lo >= 0 && center+h < len(dst) {
+			// Interior impulse: iterate a subslice so the compiler drops the
+			// per-tap bounds check; u keeps Add's exact float64(i)-pos form.
+			seg := dst[lo : center+h+1]
+			for j := range seg {
+				u := float64(lo+j) - ps
+				var snc float64
+				if u == 0 {
+					snc = 1
+				} else {
+					snc = s / (math.Pi * u)
+				}
+				w := 0.54 + 0.46*c
+				seg[j] += pa * complex(snc*w, 0)
+				s = -s
+				c, cPrev = twoCosD*c-cPrev, c
+			}
+			continue
+		}
+		for i := lo; i <= center+h; i++ {
+			if i >= 0 && i < len(dst) {
+				u := float64(i) - ps
+				var snc float64
+				if u == 0 {
+					snc = 1
+				} else {
+					snc = s / (math.Pi * u)
+				}
+				w := 0.54 + 0.46*c
+				dst[i] += pa * complex(snc*w, 0)
+			}
+			s = -s
+			c, cPrev = twoCosD*c-cPrev, c
+		}
+	}
+}

@@ -10,12 +10,13 @@ import (
 // serial capture path. After warm-up the big scratch (FFT buffers, bin
 // arrays) comes from pools and the plan cache is hot; what remains is the
 // result assembly (specs/parts slices, trace averager, stitched spectrum,
-// ~30 allocations) plus a handful of small per-render objects (one-pole
-// filter and impulse-kernel state some emitters rebuild per capture,
-// ~7 each). Pinning the total turns "the sweep got chattier with the
-// allocator" — e.g. a pooled buffer quietly replaced by make, one extra
-// object per capture — into a test failure instead of a silent perf
-// regression.
+// ~30 allocations) plus a handful of small per-render objects some
+// emitters still rebuild per capture. The refresh renderer's per-rank
+// weights and per-pulse position/area arrays come from a pool, so a
+// refresh-bearing scene (asserted below) adds nothing per capture.
+// Pinning the total turns "the sweep got chattier with the allocator" —
+// e.g. a pooled buffer quietly replaced by make, one extra object per
+// capture — into a test failure instead of a silent perf regression.
 func TestSweepSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates; the pin only holds on plain builds")
@@ -23,6 +24,12 @@ func TestSweepSteadyStateAllocs(t *testing.T) {
 	sys, err := machine.Lookup("i7-desktop")
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The pin must cover the pooled refresh scratch: if the scene model
+	// ever drops its refresh emitter the measurement silently stops
+	// exercising that path, so assert it is present.
+	if sys.Refresh == nil {
+		t.Fatal("i7-desktop scene no longer bears a refresh emitter; pick a refresh-bearing scene for the alloc pin")
 	}
 	// MaxFFT 4096 forces 4 segments over the 1.2 MHz span (12000 bins at
 	// 3072 usable per segment), i.e. 16 captures per sweep; Parallelism 1
@@ -40,10 +47,12 @@ func TestSweepSteadyStateAllocs(t *testing.T) {
 			t.Fatal("empty sweep")
 		}
 	})
-	// Measured 2026-08: 148 allocs/sweep. The bound leaves <10% headroom
-	// for toolchain drift — less than the +16 a single extra allocation
-	// per capture would add.
-	const maxAllocs = 160
+	// Measured 2026-08: 83 allocs/sweep (down from 148 before the refresh
+	// renderer's weights/pulse arrays were pooled). The bound leaves ~10%
+	// headroom for toolchain drift — less than the +16 a single extra
+	// allocation per capture would add.
+	t.Logf("measured %.0f allocs/sweep", allocs)
+	const maxAllocs = 92
 	if allocs > maxAllocs {
 		t.Errorf("steady-state sweep made %.0f allocations, want <= %d", allocs, maxAllocs)
 	}
@@ -82,7 +91,10 @@ func TestSweepReuseStaticSteadyStateAllocs(t *testing.T) {
 	if staticMissesTotal.Value() != misses {
 		t.Fatal("steady-state sweeps rebuilt static entries; the measurement is not warm")
 	}
-	const maxAllocs = 160
+	// Measured 2026-08: 25 allocs/sweep — conditionally static layers
+	// replay from the warm cache, so most per-render scratch never runs.
+	t.Logf("measured %.0f allocs/sweep", allocs)
+	const maxAllocs = 32
 	if allocs > maxAllocs {
 		t.Errorf("warm cached sweep made %.0f allocations, want <= %d", allocs, maxAllocs)
 	}

@@ -78,6 +78,12 @@ type Config struct {
 	// Replay is bit-identical to live rendering at any Parallelism; the
 	// default (off) is the escape hatch, mirrored by core.Campaign.NoReuse.
 	ReuseStatic bool
+	// NoSegment disables run-length segmentation in load-following
+	// renderers: captures then walk the activity trace sample by sample
+	// (see emsim.Context.NoSegment). Segmented and per-sample rendering
+	// are bit-identical by contract — this is a debugging escape hatch,
+	// mirrored by core.Campaign.NoSegment.
+	NoSegment bool
 	// Faults, when non-nil, deterministically degrades every rendered
 	// capture before its FFT (see emsim.FaultPlan): dropped/truncated
 	// traces, ADC clipping, burst interferers, added noise. Nil — the
@@ -133,9 +139,12 @@ type Analyzer struct {
 	// statics caches built static layers per capture identity (staticKey)
 	// when Config.ReuseStatic is set. A plain struct-keyed map behind an
 	// RWMutex rather than a sync.Map: warm lookups then neither box the key
-	// nor allocate, keeping the steady-state sweep allocation-free.
+	// nor allocate, keeping the steady-state sweep allocation-free. Each
+	// identity holds a bucket keyed by the capture's conditional-static key
+	// (empty for sets with no conditional layer), so sweeps under different
+	// window-constant loads cache distinct sets side by side.
 	staticMu sync.RWMutex
-	statics  map[staticKey]*staticEntry
+	statics  map[staticKey]*staticBucket
 	// arena retains capture and bin buffers for the analyzer's lifetime:
 	// the process-wide bufpool can lose its contents to a garbage
 	// collection between sweeps, but a campaign's analyzer re-renders the
@@ -164,6 +173,21 @@ type staticEntry struct {
 	once sync.Once
 	set  *emsim.StaticSet
 }
+
+// staticBucket holds one capture identity's cached sets, keyed by
+// conditional-static key. Lookups index the map with string(b) on a
+// pooled byte slice, which Go compiles without materializing a string, so
+// warm hits stay allocation-free.
+type staticBucket struct {
+	mu     sync.RWMutex
+	byCond map[string]*staticEntry
+}
+
+// condKeyBuf is the pooled scratch for computing a capture's
+// conditional-static key (see emsim.Scene.AppendCondStaticKey).
+type condKeyBuf struct{ b []byte }
+
+var condKeyPool = sync.Pool{New: func() any { return &condKeyBuf{b: make([]byte, 0, 64)} }}
 
 // planKey identifies a segment's render geometry. Near-field settings are
 // deliberately absent: plans hold only geometry (active subsets, harmonic
@@ -205,7 +229,7 @@ func (a *Analyzer) planFor(scene *emsim.Scene, band emsim.Band, n int) *emsim.Re
 // building it on first use (nil when the scene has nothing cacheable for
 // the geometry — the entry still caches that answer).
 func (a *Analyzer) staticFor(req Request, band emsim.Band, n int, seed int64, start float64, plan *emsim.RenderPlan) *emsim.StaticSet {
-	if plan != nil && plan.StaticCount() == 0 {
+	if plan != nil && plan.StaticCount() == 0 && plan.CondStaticCount() == 0 {
 		return nil
 	}
 	key := staticKey{
@@ -213,16 +237,40 @@ func (a *Analyzer) staticFor(req Request, band emsim.Band, n int, seed int64, st
 		seed: seed, start: start,
 		nearField: req.NearField, nearGainDB: req.NearFieldGainDB,
 	}
+	// The conditional-static key distinguishes sets within one identity:
+	// the same (band, seed, start) capture under different window-constant
+	// loads caches different regulator layers. Skipped when the plan rules
+	// out conditional components for this geometry.
+	var kb *condKeyBuf
+	cond := []byte(nil)
+	if plan == nil || plan.CondStaticCount() > 0 {
+		kb = condKeyPool.Get().(*condKeyBuf)
+		kb.b = req.Scene.AppendCondStaticKey(kb.b[:0], emsim.Capture{
+			Band: band, Start: start, N: n, Activity: req.Activity, Plan: plan,
+		})
+		cond = kb.b
+	}
 	a.staticMu.RLock()
-	e := a.statics[key]
+	bk := a.statics[key]
 	a.staticMu.RUnlock()
-	if e == nil {
+	if bk == nil {
 		a.staticMu.Lock()
-		if e = a.statics[key]; e == nil {
-			e = &staticEntry{}
-			a.statics[key] = e
+		if bk = a.statics[key]; bk == nil {
+			bk = &staticBucket{byCond: make(map[string]*staticEntry)}
+			a.statics[key] = bk
 		}
 		a.staticMu.Unlock()
+	}
+	bk.mu.RLock()
+	e := bk.byCond[string(cond)]
+	bk.mu.RUnlock()
+	if e == nil {
+		bk.mu.Lock()
+		if e = bk.byCond[string(cond)]; e == nil {
+			e = &staticEntry{}
+			bk.byCond[string(cond)] = e
+		}
+		bk.mu.Unlock()
 	}
 	hit := true
 	e.once.Do(func() {
@@ -233,10 +281,14 @@ func (a *Analyzer) staticFor(req Request, band emsim.Band, n int, seed int64, st
 		}
 		e.set = req.Scene.BuildStaticSet(emsim.Capture{
 			Band: band, Start: start, N: n, Seed: seed,
+			Activity:  req.Activity,
 			NearField: req.NearField, NearFieldGainDB: req.NearFieldGainDB,
 			Plan: plan,
 		})
 	})
+	if kb != nil {
+		condKeyPool.Put(kb)
+	}
 	if hit {
 		staticHitsTotal.Inc()
 		if run := a.cfg.Obs; run != nil {
@@ -251,7 +303,7 @@ func New(cfg Config) *Analyzer {
 	cfg = cfg.withDefaults()
 	a := &Analyzer{cfg: cfg, sem: make(chan struct{}, cfg.Parallelism)}
 	if cfg.ReuseStatic {
-		a.statics = make(map[staticKey]*staticEntry)
+		a.statics = make(map[staticKey]*staticBucket)
 	}
 	return a
 }
@@ -368,6 +420,8 @@ func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.
 		NearFieldGainDB: req.NearFieldGainDB,
 		Plan:            rp,
 		Static:          static,
+		NoSegment:       a.cfg.NoSegment,
+		Obs:             run,
 	})
 	if run != nil {
 		t1 = time.Now()

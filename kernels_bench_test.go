@@ -1,0 +1,139 @@
+// Kernel microbenchmarks: single-emitter render times for the three
+// dynamic kernels the campaign spends its cycles in (switching regulator,
+// memory refresh, spread-spectrum clock), each idle and under load.
+//
+// Each parent benchmark records its sub-benchmark results into
+// BENCH_kernels.json for the Makefile's bench-regress gate (see
+// writeKernelBenchJSON). The idle case renders against the constant idle
+// trace — one run for the segmented paths — while the loaded case renders
+// against a generated alternation micro-benchmark trace, which forces the
+// run-length machinery to walk thousands of load change-points.
+package fase_test
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+
+	"fase"
+	"fase/internal/emsim"
+	"fase/internal/microbench"
+)
+
+// kernelBenchCapture is the campaign narrowband segment shape: 4096
+// samples at 409.6 kHz (100 Hz resolution), a 10 ms window.
+const (
+	kernelBenchN  = 4096
+	kernelBenchFs = 409600.0
+)
+
+// kernelBenchTrace generates the alternation load trace the loaded
+// sub-benchmarks share — LDM/LDL1 at 43.3 kHz, the campaign's first
+// alternation frequency, so a 10 ms window sees ~433 alternation periods.
+func kernelBenchTrace(b *testing.B) *fase.Trace {
+	b.Helper()
+	return microbench.Generate(microbench.Config{
+		X: fase.LDM, Y: fase.LDL1,
+		FAlt:   43.3e3,
+		Jitter: microbench.DefaultJitter(),
+		Seed:   1,
+	}, 0.1)
+}
+
+// benchRenderComponent times a single component's render, idle and
+// loaded, and reports both into the kernels baseline under the given key
+// prefix.
+func benchRenderComponent(b *testing.B, key string, c emsim.Component, center float64) {
+	scene := &emsim.Scene{}
+	scene.Add(c)
+	trace := kernelBenchTrace(b)
+	results := map[string]int64{}
+	for _, loaded := range []bool{false, true} {
+		name, activity := "idle", (*fase.Trace)(nil)
+		if loaded {
+			name, activity = "loaded", trace
+		}
+		b.Run(name, func(b *testing.B) {
+			dst := make([]complex128, kernelBenchN)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scene.RenderInto(dst, emsim.Capture{
+					Band:     emsim.Band{Center: center, SampleRate: kernelBenchFs},
+					N:        kernelBenchN,
+					Seed:     int64(i),
+					Activity: activity,
+				})
+			}
+			b.StopTimer()
+			results[key+"_"+name+"_ns_per_op"] = b.Elapsed().Nanoseconds() / int64(b.N)
+		})
+	}
+	writeKernelBenchJSON(b, results)
+}
+
+// BenchmarkRenderRegulator times the i7 core supply regulator (332.5 kHz,
+// the campaign's strongest detection) over the regulator band.
+func BenchmarkRenderRegulator(b *testing.B) {
+	sys, err := fase.LookupSystem("i7-desktop")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRenderComponent(b, "render_regulator", sys.CoreRegulator, 400e3)
+}
+
+// BenchmarkRenderRefresh times the DDR3 refresh impulse train — ~5120
+// pulses per 10 ms window across 4 ranks.
+func BenchmarkRenderRefresh(b *testing.B) {
+	sys, err := fase.LookupSystem("i7-desktop")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRenderComponent(b, "render_refresh", sys.Refresh, 400e3)
+}
+
+// BenchmarkRenderSSC times the spread-spectrum DDR3 clock in its own
+// band (333 MHz, 1 MHz spread).
+func BenchmarkRenderSSC(b *testing.B) {
+	sys, err := fase.LookupSystem("i7-desktop")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRenderComponent(b, "render_ssc", sys.DRAMClock, 333e6)
+}
+
+var kernelBenchMu sync.Mutex
+
+// writeKernelBenchJSON merges the given results into the kernels baseline
+// file — a flat one-key-per-line JSON object so the Makefile gate can
+// extract values with sed. Merging (read, update, rewrite) lets the three
+// parent benchmarks contribute to one file regardless of -bench filters.
+// FASE_BENCH_KERNELS_OUT redirects the output (the bench-regress gate
+// points it at a temporary path); unset, the committed BENCH_kernels.json
+// is refreshed in place. Only reached under -bench.
+func writeKernelBenchJSON(b *testing.B, results map[string]int64) {
+	b.Helper()
+	kernelBenchMu.Lock()
+	defer kernelBenchMu.Unlock()
+	path := os.Getenv("FASE_BENCH_KERNELS_OUT")
+	if path == "" {
+		path = "BENCH_kernels.json"
+	}
+	merged := map[string]int64{}
+	if prev, err := os.ReadFile(path); err == nil && len(prev) > 0 {
+		if err := json.Unmarshal(prev, &merged); err != nil {
+			b.Fatalf("corrupt kernels baseline %s: %v", path, err)
+		}
+	}
+	for k, v := range results {
+		merged[k] = v
+	}
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
