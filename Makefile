@@ -58,6 +58,7 @@ equivalence:
 fuzz-smoke:
 	$(GO) test -run FuzzExtent -fuzz FuzzExtent -fuzztime 5s ./internal/emsim
 	$(GO) test -run xxx -fuzz FuzzCampaignValidate -fuzztime 5s ./internal/core
+	$(GO) test -run xxx -fuzz FuzzAdaptivePlan -fuzztime 5s ./internal/core
 	$(GO) test -run xxx -fuzz FuzzManifestTables -fuzztime 5s ./internal/report
 	$(GO) test -run xxx -fuzz FuzzRFFT -fuzztime 5s ./internal/dsp/fft
 
@@ -66,41 +67,61 @@ fuzz-smoke:
 # a full timing run. The baseline outputs are discarded: a 1x run must
 # never overwrite the committed BENCH_*.json files.
 bench-smoke:
-	FASE_BENCH_OUT=/dev/null FASE_BENCH_CAMPAIGN_OUT=/dev/null FASE_BENCH_KERNELS_OUT=/dev/null \
-		$(GO) test -run xxx -bench 'BenchmarkSceneRender|BenchmarkPeriodogram|BenchmarkSweep$$|BenchmarkCampaignNarrowband|BenchmarkRender(Regulator|Refresh|SSC)$$' -benchtime 1x .
+	FASE_BENCH_OUT=/dev/null FASE_BENCH_CAMPAIGN_OUT=/dev/null FASE_BENCH_KERNELS_OUT=/dev/null FASE_BENCH_ADAPTIVE_OUT=/dev/null \
+		$(GO) test -run xxx -bench 'BenchmarkSceneRender|BenchmarkPeriodogram|BenchmarkSweep$$|BenchmarkCampaignNarrowband|BenchmarkCampaignAdaptive|BenchmarkRender(Regulator|Refresh|SSC)$$' -benchtime 1x .
 
-# bench-regress re-times the wide CLI scan, the narrowband campaign, and
-# the three dynamic-kernel microbenchmarks (idle and loaded), printing
-# old-vs-new ns/op with the percentage delta for each, and fails (with the
-# delta in the message) if any regressed against its committed baseline
-# (BENCH_sweep.json at 20%, BENCH_campaign.json at 25% — the campaign adds
-# scoring/detection variance on top of the sweep — and BENCH_kernels.json
-# at 35%, the sub-millisecond kernels being the noisiest measurements).
-# Fresh runs go to temp files via FASE_BENCH_OUT / FASE_BENCH_CAMPAIGN_OUT
-# / FASE_BENCH_KERNELS_OUT so the baselines are only updated deliberately
-# (run the benchmarks without those variables and commit the result).
+# bench-regress re-times the wide CLI scan, the narrowband campaign, the
+# adaptive campaign, and the three dynamic-kernel microbenchmarks (idle
+# and loaded), printing old-vs-new ns/op with the percentage delta for
+# each, and fails (with the delta in the message) if any regressed against
+# its committed baseline (BENCH_sweep.json at 20%, BENCH_campaign.json and
+# BENCH_adaptive.json at 25% — the campaigns add scoring/detection
+# variance on top of the sweep — and BENCH_kernels.json at 35%, the
+# sub-millisecond kernels being the noisiest measurements). The adaptive
+# planner's capture spend is deterministic, so BENCH_adaptive.json's
+# captures_used is compared exactly: a planner change that spends more of
+# the budget fails the gate even if it happens to run fast. Fresh runs go
+# to temp files via FASE_BENCH_OUT / FASE_BENCH_CAMPAIGN_OUT /
+# FASE_BENCH_KERNELS_OUT / FASE_BENCH_ADAPTIVE_OUT so the baselines are
+# only updated deliberately (run the benchmarks without those variables
+# and commit the result).
 bench-regress:
-	@fresh=$$(mktemp); freshc=$$(mktemp); freshk=$$(mktemp); \
-	FASE_BENCH_OUT=$$fresh FASE_BENCH_CAMPAIGN_OUT=$$freshc \
-		$(GO) test -run xxx -bench 'BenchmarkWideSweep$$|BenchmarkCampaignNarrowband$$' -benchtime 5x . >/dev/null || exit 1; \
+	@fresh=$$(mktemp); freshc=$$(mktemp); freshk=$$(mktemp); fresha=$$(mktemp); \
+	FASE_BENCH_OUT=$$fresh FASE_BENCH_CAMPAIGN_OUT=$$freshc FASE_BENCH_ADAPTIVE_OUT=$$fresha \
+		$(GO) test -run xxx -bench 'BenchmarkWideSweep$$|BenchmarkCampaignNarrowband$$|BenchmarkCampaignAdaptive$$' -benchtime 5x . >/dev/null || exit 1; \
 	FASE_BENCH_KERNELS_OUT=$$freshk \
 		$(GO) test -run xxx -bench 'BenchmarkRender(Regulator|Refresh|SSC)$$' -benchtime 100x . >/dev/null || exit 1; \
 	base=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' BENCH_sweep.json); \
 	now=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' $$fresh); \
 	cbase=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' BENCH_campaign.json); \
 	cnow=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' $$freshc); \
+	abase=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' BENCH_adaptive.json); \
+	anow=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' $$fresha); \
+	capbase=$$(sed -n 's/.*"captures_used": \([0-9]*\).*/\1/p' BENCH_adaptive.json); \
+	capnow=$$(sed -n 's/.*"captures_used": \([0-9]*\).*/\1/p' $$fresha); \
 	if [ -z "$$base" ] || [ -z "$$now" ]; then echo "bench-regress: missing sweep ns_per_op"; exit 1; fi; \
 	if [ -z "$$cbase" ] || [ -z "$$cnow" ]; then echo "bench-regress: missing campaign ns_per_op"; exit 1; fi; \
+	if [ -z "$$abase" ] || [ -z "$$anow" ]; then echo "bench-regress: missing adaptive ns_per_op"; exit 1; fi; \
+	if [ -z "$$capbase" ] || [ -z "$$capnow" ]; then echo "bench-regress: missing adaptive captures_used"; exit 1; fi; \
 	delta=$$(( (now - base) * 100 / base )); \
 	echo "bench-regress: BenchmarkWideSweep          $$base -> $$now ns/op ($$delta% vs baseline, limit +20%)"; \
 	cdelta=$$(( (cnow - cbase) * 100 / cbase )); \
 	echo "bench-regress: BenchmarkCampaignNarrowband $$cbase -> $$cnow ns/op ($$cdelta% vs baseline, limit +25%)"; \
+	adelta=$$(( (anow - abase) * 100 / abase )); \
+	echo "bench-regress: BenchmarkCampaignAdaptive   $$abase -> $$anow ns/op ($$adelta% vs baseline, limit +25%)"; \
+	echo "bench-regress: adaptive captures_used      $$capbase -> $$capnow (must match exactly)"; \
 	fail=0; \
 	if [ "$$now" -gt "$$((base * 120 / 100))" ]; then \
 		echo "bench-regress: FAIL BenchmarkWideSweep $$base -> $$now ns/op is +$$delta%, over the +20% gate"; fail=1; \
 	fi; \
 	if [ "$$cnow" -gt "$$((cbase * 125 / 100))" ]; then \
 		echo "bench-regress: FAIL BenchmarkCampaignNarrowband $$cbase -> $$cnow ns/op is +$$cdelta%, over the +25% gate"; fail=1; \
+	fi; \
+	if [ "$$anow" -gt "$$((abase * 125 / 100))" ]; then \
+		echo "bench-regress: FAIL BenchmarkCampaignAdaptive $$abase -> $$anow ns/op is +$$adelta%, over the +25% gate"; fail=1; \
+	fi; \
+	if [ "$$capnow" != "$$capbase" ]; then \
+		echo "bench-regress: FAIL adaptive captures_used changed $$capbase -> $$capnow (update BENCH_adaptive.json deliberately)"; fail=1; \
 	fi; \
 	for key in render_regulator_idle render_regulator_loaded \
 	           render_refresh_idle render_refresh_loaded \
@@ -114,7 +135,7 @@ bench-regress:
 			echo "bench-regress: FAIL $$key $$kbase -> $$know ns/op is +$$kdelta%, over the +35% gate"; fail=1; \
 		fi; \
 	done; \
-	rm -f $$fresh $$freshc $$freshk; \
+	rm -f $$fresh $$freshc $$freshk $$fresha; \
 	exit $$fail
 
 # profile captures CPU and allocation profiles of the narrowband campaign
@@ -124,7 +145,7 @@ bench-regress:
 # profiling run must never overwrite the committed BENCH_*.json files.
 profile:
 	@mkdir -p profiles; \
-	FASE_BENCH_OUT=/dev/null FASE_BENCH_CAMPAIGN_OUT=/dev/null FASE_BENCH_KERNELS_OUT=/dev/null \
+	FASE_BENCH_OUT=/dev/null FASE_BENCH_CAMPAIGN_OUT=/dev/null FASE_BENCH_KERNELS_OUT=/dev/null FASE_BENCH_ADAPTIVE_OUT=/dev/null \
 		$(GO) test -run xxx -bench 'BenchmarkCampaignNarrowband$$' -benchtime 10x \
 		-cpuprofile profiles/campaign_cpu.pprof -memprofile profiles/campaign_mem.pprof \
 		-o profiles/fase.test . >/dev/null || exit 1; \
@@ -133,16 +154,19 @@ profile:
 	echo "profile: wrote profiles/campaign_{cpu,mem}.pprof and -top summaries"
 
 # accuracy runs the ground-truth harness (fase -verify): a 60-scenario
-# seeded-random machine corpus scanned by the unchanged pipeline, clean and
-# through the default fault-injection plan, scored against each scene's
-# planted carriers. Fails if the clean-corpus F1 or the fault-corpus
-# precision drops below the committed VERIFY_baseline.json (or the absolute
-# floors baked into internal/verify). Regenerate the baseline deliberately
-# with: fase -verify -verify-baseline-out VERIFY_baseline.json
+# seeded-random machine corpus scanned by the unchanged pipeline, clean,
+# through the default fault-injection plan, and re-run with the adaptive
+# planner across the budget fractions (-verify-budget), scored against
+# each scene's planted carriers. Fails if the clean-corpus F1 or the
+# fault-corpus precision drops below the committed VERIFY_baseline.json
+# (or the absolute floors baked into internal/verify), or if no adaptive
+# budget point reaches 95% of the exhaustive recall within 30% of the
+# exhaustive captures. Regenerate the baseline deliberately with:
+# fase -verify -verify-budget -verify-baseline-out VERIFY_baseline.json
 accuracy:
 	@tmp=$$(mktemp -d); \
 	$(GO) build -o $$tmp/fase ./cmd/fase || { rm -rf $$tmp; exit 1; }; \
-	$$tmp/fase -verify -verify-out $$tmp/report.json -verify-roc-csv $$tmp/roc.csv \
+	$$tmp/fase -verify -verify-budget -verify-out $$tmp/report.json -verify-roc-csv $$tmp/roc.csv \
 		-manifest-out $$tmp/manifest.json \
 		-verify-baseline VERIFY_baseline.json || { rm -rf $$tmp; exit 1; }; \
 	$$tmp/fase -validate-manifest $$tmp/manifest.json || { rm -rf $$tmp; exit 1; }; \
@@ -150,6 +174,7 @@ accuracy:
 		[ -s $$tmp/$$f ] || { echo "accuracy: $$f missing or empty"; rm -rf $$tmp; exit 1; }; \
 	done; \
 	grep -q '"accuracy"' $$tmp/manifest.json || { echo "accuracy: manifest missing accuracy stats"; rm -rf $$tmp; exit 1; }; \
+	grep -q '"budget"' $$tmp/report.json || { echo "accuracy: report missing recall-vs-budget sweep"; rm -rf $$tmp; exit 1; }; \
 	rm -rf $$tmp; \
 	echo "accuracy: ok"
 

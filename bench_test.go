@@ -231,6 +231,75 @@ func BenchmarkCampaignNarrowband(b *testing.B) {
 	writeCampaignBenchJSON(b, nsPerOp, obsRunner.Obs.Manifest())
 }
 
+// BenchmarkCampaignAdaptive times the budgeted coarse-to-fine planner on
+// the full regulator band (200–900 kHz, the accuracy corpus geometry),
+// with the transform cap pinned (MaxFFT 2048 splits the band into five
+// segments a window re-sweep can actually avoid) and the budget at 30%
+// of the exhaustive capture cost. It records BENCH_adaptive.json —
+// ns/op plus the captures the planner spent vs the exhaustive price —
+// for the Makefile's adaptive regression gate.
+func BenchmarkCampaignAdaptive(b *testing.B) {
+	sys, err := fase.LookupSystem("i7-desktop")
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := fase.NewRunner(sys.Scene(1, true))
+	campaign := fase.Campaign{
+		F1: 200e3, F2: 900e3, Fres: 100,
+		FAlt1: 43.3e3, FDelta: 1e3,
+		X: fase.LDM, Y: fase.LDL1,
+		MaxFFT: 2048,
+	}
+	// Price the exhaustive campaign once (outside the timed loop) so the
+	// budget is a fraction of it, not a magic number.
+	exhaustive, err := runner.RunE(campaign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	campaign.Budget = int(exhaustive.Captures * 30 / 100)
+	campaign.Adaptive = &fase.AdaptivePlan{}
+	var capturesUsed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := campaign
+		c.Seed = int64(i)
+		res, err := runner.RunE(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Detections) == 0 {
+			b.Fatal("no detections")
+		}
+		capturesUsed = res.Captures
+	}
+	b.StopTimer()
+	writeAdaptiveBenchJSON(b, b.Elapsed().Nanoseconds()/int64(b.N), capturesUsed, exhaustive.Captures)
+}
+
+// writeAdaptiveBenchJSON records the adaptive benchmark for the Makefile's
+// bench-regress gate. As with the other BENCH_* writers,
+// FASE_BENCH_ADAPTIVE_OUT redirects the fresh run to a temporary path;
+// unset, the committed BENCH_adaptive.json baseline is refreshed in place.
+func writeAdaptiveBenchJSON(b *testing.B, nsPerOp, capturesUsed, exhaustiveCaptures int64) {
+	path := os.Getenv("FASE_BENCH_ADAPTIVE_OUT")
+	if path == "" {
+		path = "BENCH_adaptive.json"
+	}
+	out, err := json.MarshalIndent(struct {
+		Benchmark          string `json:"benchmark"`
+		Iterations         int    `json:"iterations"`
+		NsPerOp            int64  `json:"ns_per_op"`
+		CapturesUsed       int64  `json:"captures_used"`
+		ExhaustiveCaptures int64  `json:"exhaustive_captures"`
+	}{"BenchmarkCampaignAdaptive", b.N, nsPerOp, capturesUsed, exhaustiveCaptures}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // writeCampaignBenchJSON records the campaign benchmark result plus its
 // stage split for the bench-regress campaign gate. As with FASE_BENCH_OUT,
 // FASE_BENCH_CAMPAIGN_OUT redirects the fresh run to a temporary path;

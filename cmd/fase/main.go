@@ -5,6 +5,7 @@
 //
 //	fase [-system NAME] [-pair X/Y] [-f1 Hz] [-f2 Hz] [-fres Hz]
 //	     [-falt Hz] [-fdelta Hz] [-seed N] [-classify] [-environment=true]
+//	     [-adaptive -budget N [-recon-fres Hz]]
 //	     [-metrics-out FILE] [-trace-out FILE] [-manifest-out FILE]
 //	     [-pprof ADDR]
 //
@@ -12,10 +13,12 @@
 //
 //	fase -system i7-desktop -pair LDM/LDL1 -f1 100e3 -f2 4e6
 //	fase -system turion-laptop -classify
+//	fase -adaptive -budget 120 -manifest-out run.json
 //	fase -manifest-out run.json -trace-out trace.json -pprof localhost:6060
 //	fase -validate-manifest run.json
 //	fase -verify -verify-baseline VERIFY_baseline.json
 //	fase -verify -verify-scenarios 10 -verify-out report.json -verify-roc-csv roc.csv
+//	fase -verify -verify-budget -verify-out report.json
 package main
 
 import (
@@ -49,6 +52,9 @@ func run() int {
 	env := flag.Bool("environment", true, "include the metropolitan RF environment")
 	noReuse := flag.Bool("no-reuse", false, "disable the cross-sweep static render cache (bit-identical results, slower)")
 	noSegment := flag.Bool("no-segment", false, "disable run-length segmentation in load-following renderers (bit-identical results, slower)")
+	adaptive := flag.Bool("adaptive", false, "use the budgeted coarse-to-fine scan planner (requires -budget)")
+	budget := flag.Int("budget", 0, "capture budget for -adaptive (total analyzer captures the scan may spend)")
+	reconFres := flag.Float64("recon-fres", 0, "recon-pass resolution bandwidth for -adaptive, Hz (0 = 8×fres)")
 	classify := flag.Bool("classify", false, "also run the on-chip pair (LDL2/LDL1) and classify carriers")
 	metricsOut := flag.String("metrics-out", "", "write a JSON snapshot of process metrics to FILE on exit")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of campaign stages to FILE (load in chrome://tracing or Perfetto)")
@@ -60,6 +66,7 @@ func run() int {
 		scenarios:   flag.Int("verify-scenarios", 0, "accuracy corpus size (0 = default 60)"),
 		seed:        flag.Int64("verify-seed", 0, "accuracy corpus seed (0 = default 1)"),
 		faults:      flag.Bool("verify-faults", true, "also run the fault-injected corpus pass"),
+		budget:      flag.Bool("verify-budget", false, "also run the adaptive recall-vs-budget pass"),
 		out:         flag.String("verify-out", "", "write the accuracy report (JSON) to FILE"),
 		rocCSV:      flag.String("verify-roc-csv", "", "write the full ROC sweep (CSV) to FILE"),
 		baseline:    flag.String("verify-baseline", "", "gate the run against a committed baseline FILE (exit 1 on regression)"),
@@ -127,8 +134,15 @@ func run() int {
 		NoReuse:   *noReuse,
 		NoSegment: *noSegment,
 	}
+	if *adaptive || *budget != 0 {
+		campaign.Budget = *budget
+		campaign.Adaptive = &core.AdaptivePlan{ReconFres: *reconFres}
+	}
 	fmt.Printf("FASE scan of %s, %v/%v, %.3g–%.3g MHz at %.0f Hz RBW\n",
 		sys.Name, x, y, *f1/1e6, *f2/1e6, *fres)
+	if campaign.Adaptive != nil {
+		fmt.Printf("adaptive plan: budget %d captures\n", campaign.Budget)
+	}
 	start := time.Now()
 	res, err := runner.RunE(campaign)
 	if err != nil {

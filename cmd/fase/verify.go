@@ -14,6 +14,7 @@ type verifyFlags struct {
 	scenarios   *int
 	seed        *int64
 	faults      *bool
+	budget      *bool
 	out         *string
 	rocCSV      *string
 	baseline    *string
@@ -30,6 +31,7 @@ func runVerify(vf verifyFlags) int {
 	cfg := verify.Config{
 		Scenarios: *vf.scenarios,
 		Seed:      *vf.seed,
+		Budget:    *vf.budget,
 	}
 	if *vf.faults {
 		cfg.Faults = verify.DefaultFaultPlan()
@@ -37,8 +39,8 @@ func runVerify(vf verifyFlags) int {
 	if *vf.manifestOut != "" {
 		cfg.Obs = obs.NewRun()
 	}
-	fmt.Printf("accuracy harness: %d scenarios, seed %d, faults=%v\n",
-		cfg.Scenarios, cfg.Seed, cfg.Faults != nil)
+	fmt.Printf("accuracy harness: %d scenarios, seed %d, faults=%v, budget=%v\n",
+		cfg.Scenarios, cfg.Seed, cfg.Faults != nil, cfg.Budget)
 
 	rep, err := verify.Evaluate(cfg)
 	if err != nil {

@@ -77,6 +77,11 @@ type Trace = activity.Trace
 // Campaign configures a FASE measurement campaign (Figure 10 row).
 type Campaign = core.Campaign
 
+// AdaptivePlan tunes the budgeted coarse-to-fine scan planner; set it
+// (with Campaign.Budget) to replace the exhaustive raster. The zero
+// value resolves every knob to its documented default.
+type AdaptivePlan = core.AdaptivePlan
+
 // Detection is one activity-modulated carrier FASE found.
 type Detection = core.Detection
 

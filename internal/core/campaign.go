@@ -90,6 +90,25 @@ type Campaign struct {
 	// nominal ladder. Nil — the default — changes nothing; the algorithm
 	// under test is never altered, only its input data.
 	Faults *emsim.FaultPlan
+	// MaxFFT caps the analyzer's per-segment transform size (power of
+	// two ≥ 64; see specan.Config.MaxFFT). Zero keeps the analyzer
+	// default (1<<17). Smaller caps split a band into more, shorter
+	// captures — the knob that makes capture counts a meaningful budget
+	// currency for adaptive planning, and it changes segment geometry,
+	// so results are NOT bit-identical across MaxFFT values.
+	MaxFFT int
+	// Budget is the hard measurement budget for adaptive campaigns,
+	// in captures. It must be positive when Adaptive is set and zero
+	// otherwise; the planner never renders beyond it (specan.Meter).
+	Budget int
+	// Adaptive, when non-nil, replaces the exhaustive NumAlts-sweep
+	// raster with the budgeted coarse-to-fine planner (see AdaptivePlan):
+	// a coarse reconnaissance pass, a priority queue of candidate
+	// windows, and score-gated refinement under Budget. Adaptive results
+	// are judged by the verify corpus' recall-vs-budget gates, not by
+	// bit-equality; the nil default leaves the exhaustive path — and its
+	// bit-identity contract — untouched.
+	Adaptive *AdaptivePlan
 }
 
 // MinScoreZero is the sentinel for Campaign.MinScore that requests a
@@ -149,6 +168,23 @@ func (c Campaign) Validate() error {
 	if c.Averages < 0 {
 		return fmt.Errorf("core: campaign Averages must be non-negative, got %d", c.Averages)
 	}
+	if c.MaxFFT != 0 && (c.MaxFFT < 64 || c.MaxFFT&(c.MaxFFT-1) != 0) {
+		return fmt.Errorf("core: campaign MaxFFT must be a power of two >= 64, got %d", c.MaxFFT)
+	}
+	if c.Budget < 0 {
+		return fmt.Errorf("core: campaign Budget must be positive, got %d captures", c.Budget)
+	}
+	if c.Adaptive != nil && c.Budget == 0 {
+		return fmt.Errorf("core: adaptive campaign needs a positive capture Budget")
+	}
+	if c.Adaptive == nil && c.Budget > 0 {
+		return fmt.Errorf("core: campaign Budget %d is only meaningful with an AdaptivePlan", c.Budget)
+	}
+	if c.Adaptive != nil {
+		if err := c.Adaptive.validate(c); err != nil {
+			return err
+		}
+	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
@@ -195,6 +231,11 @@ func (c Campaign) withDefaults() Campaign {
 	if c.Jitter == nil {
 		j := microbench.DefaultJitter()
 		c.Jitter = &j
+	}
+	if c.Adaptive != nil {
+		// Resolve into a copy so the caller's plan is never mutated.
+		ap := c.Adaptive.withDefaults(c)
+		c.Adaptive = &ap
 	}
 	return c
 }
@@ -268,6 +309,14 @@ type Result struct {
 	// analyzer spent across all sweeps (NumAlts × Analyzer.TotalDuration)
 	// — the paper's scan time, as opposed to the simulation's wall time.
 	SimulatedSeconds float64
+	// Captures is the number of analyzer captures the campaign rendered —
+	// the measurement cost the adaptive planner budgets. The exhaustive
+	// raster spends NumAlts × segments × Averages.
+	Captures int64
+	// Adaptive carries the planner's decision record on adaptive
+	// campaigns (budget spend, per-window outcomes); nil on the
+	// exhaustive path.
+	Adaptive *obs.AdaptiveStats
 }
 
 // Grid returns the frequency of score bin k.
@@ -317,17 +366,22 @@ func (r *Runner) RunE(c Campaign) (*Result, error) {
 	}
 	c = c.withDefaults()
 	campaignsTotal.Inc()
+	if c.Adaptive != nil {
+		return r.runAdaptive(c)
+	}
 	run := r.Obs
 	var camp obs.Span
 	if run != nil {
 		camp = run.Tracer.Begin("campaign")
 	}
 	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism,
+		MaxFFT: c.MaxFFT,
 		NoPlan: c.NoPlan, ReuseStatic: !c.NoReuse, NoSegment: c.NoSegment,
 		Faults: c.Faults, Obs: run})
 	res := &Result{Campaign: c}
 	falts := c.FAlts()
 	res.SimulatedSeconds = float64(len(falts)) * an.TotalDuration(c.F1, c.F2)
+	res.Captures = int64(len(falts)) * an.SweepCaptures(c.F1, c.F2)
 	// The per-f_alt measurements are independent observations of the same
 	// noise realization: every sweep uses the campaign seed, so they share
 	// measurement noise and differ only in their activity trace. Shared
@@ -429,12 +483,19 @@ type campaignConfig struct {
 	// fault plan; their timings and detections are not comparable to
 	// clean runs.
 	FaultsInjected bool `json:"faults_injected"`
+	// MaxFFT is the analyzer's per-segment transform cap (0 = default).
+	MaxFFT int `json:"max_fft,omitempty"`
+	// Adaptive/Budget/ReconFres echo the adaptive planner's resolved
+	// configuration; all zero on exhaustive campaigns.
+	Adaptive    bool    `json:"adaptive,omitempty"`
+	Budget      int     `json:"budget,omitempty"`
+	ReconFresHz float64 `json:"recon_fres_hz,omitempty"`
 }
 
 // manifestConfig converts a defaults-resolved campaign into its manifest
 // record.
 func manifestConfig(c Campaign) campaignConfig {
-	return campaignConfig{
+	cc := campaignConfig{
 		F1: c.F1, F2: c.F2, Fres: c.Fres,
 		FAlt1: c.FAlt1, FDelta: c.FDelta, NumAlts: c.NumAlts,
 		Harmonics: c.Harmonics, Averages: c.Averages,
@@ -444,7 +505,14 @@ func manifestConfig(c Campaign) campaignConfig {
 		Seed: c.Seed, Parallelism: c.Parallelism, NoPlan: c.NoPlan, NoReuse: c.NoReuse,
 		NoSegment:      c.NoSegment,
 		FaultsInjected: c.Faults != nil,
+		MaxFFT:         c.MaxFFT,
+		Adaptive:       c.Adaptive != nil,
+		Budget:         c.Budget,
 	}
+	if c.Adaptive != nil {
+		cc.ReconFresHz = c.Adaptive.ReconFres
+	}
+	return cc
 }
 
 // provenance builds the manifest's detection records: for each detection,

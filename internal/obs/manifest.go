@@ -47,6 +47,61 @@ type Manifest struct {
 	// the corpus-wide ground-truth scoring, so a manifest archive carries
 	// detection quality alongside cost.
 	Accuracy *AccuracyStats `json:"accuracy,omitempty"`
+	// Adaptive is present only on adaptive-planner campaigns: the
+	// measurement budget, how it was spent across recon and refinement,
+	// and the planner's per-window decisions — the provenance behind
+	// "why was this band (not) re-swept".
+	Adaptive *AdaptiveStats `json:"adaptive,omitempty"`
+}
+
+// Adaptive-window outcomes as recorded in AdaptiveWindow.Outcome.
+const (
+	// WindowRefined: the window passed its probe and was fully re-swept.
+	WindowRefined = "refined"
+	// WindowAbandoned: the probe score collapsed below the abandonment
+	// threshold; the window cost only its probe captures.
+	WindowAbandoned = "abandoned"
+	// WindowPartial: the probe passed but the remaining measurements no
+	// longer fit the budget; probe spectra exist but support no gated
+	// detection.
+	WindowPartial = "partial"
+	// WindowSkipped: not even the probe fit the remaining budget.
+	WindowSkipped = "skipped"
+)
+
+// AdaptiveStats is the adaptive campaign planner's decision record.
+type AdaptiveStats struct {
+	// Budget is the campaign's hard capture budget; CapturesUsed is what
+	// the planner actually spent (recon + refinement), never above it.
+	Budget       int64 `json:"budget"`
+	CapturesUsed int64 `json:"captures_used"`
+	// ExhaustiveCaptures prices the equivalent exhaustive campaign on the
+	// same analyzer geometry, for the savings ratio.
+	ExhaustiveCaptures int64 `json:"exhaustive_captures"`
+	ReconCaptures      int64 `json:"recon_captures"`
+	RefineCaptures     int64 `json:"refine_captures"`
+	// ReconFresHz is the reconnaissance resolution bandwidth; Candidates
+	// counts the recon peaks that seeded refinement windows.
+	ReconFresHz float64 `json:"recon_fres_hz"`
+	Candidates  int     `json:"candidates"`
+	// Windows are the planner's per-window decisions in processing order
+	// (priority-descending).
+	Windows []AdaptiveWindow `json:"windows"`
+}
+
+// AdaptiveWindow is one refinement window's fate.
+type AdaptiveWindow struct {
+	F1Hz     float64 `json:"f1_hz"`
+	F2Hz     float64 `json:"f2_hz"`
+	Priority float64 `json:"priority"`
+	Outcome  string  `json:"outcome"`
+	// Captures is what the window actually cost (probe + completion).
+	Captures int64 `json:"captures"`
+	// ProbeScore is the two-measurement probe's peak score (0 when the
+	// window was skipped before probing).
+	ProbeScore float64 `json:"probe_score"`
+	// Detections counts gated detections credited to this window.
+	Detections int `json:"detections"`
 }
 
 // AccuracyStats is the accuracy harness's aggregate scoring as recorded
@@ -254,6 +309,44 @@ func ValidateManifest(data []byte) error {
 		if a.Faulted != nil {
 			if err := validateAccuracyCorpus("faulted", *a.Faulted); err != nil {
 				return err
+			}
+		}
+	}
+	if a := m.Adaptive; a != nil {
+		if a.Budget <= 0 {
+			return fmt.Errorf("obs: adaptive stats with budget %d", a.Budget)
+		}
+		if a.CapturesUsed < 0 || a.CapturesUsed > a.Budget {
+			return fmt.Errorf("obs: adaptive captures_used %d outside budget %d", a.CapturesUsed, a.Budget)
+		}
+		if a.ReconCaptures < 0 || a.RefineCaptures < 0 ||
+			a.ReconCaptures+a.RefineCaptures != a.CapturesUsed {
+			return fmt.Errorf("obs: adaptive recon %d + refine %d captures do not sum to used %d",
+				a.ReconCaptures, a.RefineCaptures, a.CapturesUsed)
+		}
+		if a.ExhaustiveCaptures <= 0 {
+			return fmt.Errorf("obs: adaptive exhaustive_captures %d must be positive", a.ExhaustiveCaptures)
+		}
+		if a.ReconFresHz <= 0 || math.IsNaN(a.ReconFresHz) || math.IsInf(a.ReconFresHz, 0) {
+			return fmt.Errorf("obs: adaptive recon_fres_hz %g is malformed", a.ReconFresHz)
+		}
+		if a.Candidates < 0 {
+			return fmt.Errorf("obs: adaptive candidates %d is negative", a.Candidates)
+		}
+		for i, w := range a.Windows {
+			if w.F2Hz <= w.F1Hz {
+				return fmt.Errorf("obs: adaptive window %d has empty range [%g, %g]", i, w.F1Hz, w.F2Hz)
+			}
+			switch w.Outcome {
+			case WindowRefined, WindowAbandoned, WindowPartial, WindowSkipped:
+			default:
+				return fmt.Errorf("obs: adaptive window %d has unknown outcome %q", i, w.Outcome)
+			}
+			if w.Captures < 0 || w.Detections < 0 {
+				return fmt.Errorf("obs: adaptive window %d has negative stats %+v", i, w)
+			}
+			if w.Outcome == WindowSkipped && w.Captures != 0 {
+				return fmt.Errorf("obs: adaptive window %d skipped but charged %d captures", i, w.Captures)
 			}
 		}
 	}

@@ -53,8 +53,15 @@ const (
 	MetricStaticReplays        = "fase_render_static_component_replays_total"
 	MetricCampaigns            = "fase_core_campaigns_total"
 	MetricDetections           = "fase_core_detections_total"
-	MetricRenderSeconds        = "fase_specan_render_seconds"
-	MetricFFTSeconds           = "fase_specan_fft_seconds"
+	// Adaptive-planner counters: campaigns run in adaptive mode, and the
+	// fate of each refinement window the planner scheduled (fully
+	// refined, abandoned after its probe, or skipped for lack of budget).
+	MetricAdaptiveCampaigns        = "fase_core_adaptive_campaigns_total"
+	MetricAdaptiveWindowsRefined   = "fase_core_adaptive_windows_refined_total"
+	MetricAdaptiveWindowsAbandoned = "fase_core_adaptive_windows_abandoned_total"
+	MetricAdaptiveWindowsSkipped   = "fase_core_adaptive_windows_skipped_total"
+	MetricRenderSeconds            = "fase_specan_render_seconds"
+	MetricFFTSeconds               = "fase_specan_fft_seconds"
 	// MetricRenderComponentSeconds is the histogram of single-component
 	// live-render wall times, observed by instrumented captures (see
 	// Run.AddComponentRender) — the distribution behind the manifest's

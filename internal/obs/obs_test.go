@@ -387,6 +387,20 @@ func TestFinishSanitizesNonFinite(t *testing.T) {
 	}
 }
 
+// validAdaptiveStats is a consistent adaptive-planner record the
+// validator must accept; the reject cases each break one invariant.
+func validAdaptiveStats() *AdaptiveStats {
+	return &AdaptiveStats{
+		Budget: 30, CapturesUsed: 19, ExhaustiveCaptures: 100,
+		ReconCaptures: 4, RefineCaptures: 15,
+		ReconFresHz: 800, Candidates: 3,
+		Windows: []AdaptiveWindow{
+			{F1Hz: 264e3, F2Hz: 365e3, Priority: 291.1, Outcome: WindowRefined, Captures: 5, ProbeScore: 893.7, Detections: 1},
+			{F1Hz: 600e3, F2Hz: 700e3, Priority: 2.0, Outcome: WindowSkipped},
+		},
+	}
+}
+
 func TestValidateManifestRejects(t *testing.T) {
 	base := func() *Manifest {
 		run := NewRun()
@@ -424,6 +438,38 @@ func TestValidateManifestRejects(t *testing.T) {
 		{"negative render component", func(m *Manifest) {
 			m.RenderComponents = []ComponentRenderStats{{Name: "reg", Renders: -1}}
 		}},
+		{"adaptive zero budget", func(m *Manifest) {
+			m.Adaptive = validAdaptiveStats()
+			m.Adaptive.Budget = 0
+		}},
+		{"adaptive overspent", func(m *Manifest) {
+			m.Adaptive = validAdaptiveStats()
+			m.Adaptive.CapturesUsed = m.Adaptive.Budget + 1
+		}},
+		{"adaptive split mismatch", func(m *Manifest) {
+			m.Adaptive = validAdaptiveStats()
+			m.Adaptive.ReconCaptures++
+		}},
+		{"adaptive zero exhaustive", func(m *Manifest) {
+			m.Adaptive = validAdaptiveStats()
+			m.Adaptive.ExhaustiveCaptures = 0
+		}},
+		{"adaptive bad recon fres", func(m *Manifest) {
+			m.Adaptive = validAdaptiveStats()
+			m.Adaptive.ReconFresHz = 0
+		}},
+		{"adaptive unknown outcome", func(m *Manifest) {
+			m.Adaptive = validAdaptiveStats()
+			m.Adaptive.Windows[0].Outcome = "hesitated"
+		}},
+		{"adaptive empty window", func(m *Manifest) {
+			m.Adaptive = validAdaptiveStats()
+			m.Adaptive.Windows[0].F2Hz = m.Adaptive.Windows[0].F1Hz
+		}},
+		{"adaptive skipped but charged", func(m *Manifest) {
+			m.Adaptive = validAdaptiveStats()
+			m.Adaptive.Windows[1].Captures = 3
+		}},
 	}
 	for _, tc := range cases {
 		m := base()
@@ -440,6 +486,13 @@ func TestValidateManifestRejects(t *testing.T) {
 	data, _ := json.Marshal(base())
 	if err := ValidateManifest(data); err != nil {
 		t.Fatalf("base manifest invalid: %v", err)
+	}
+	// ... as must the base carrying a well-formed adaptive block.
+	withAdaptive := base()
+	withAdaptive.Adaptive = validAdaptiveStats()
+	data, _ = json.Marshal(withAdaptive)
+	if err := ValidateManifest(data); err != nil {
+		t.Fatalf("manifest with adaptive stats invalid: %v", err)
 	}
 	if err := ValidateManifest([]byte("{")); err == nil {
 		t.Error("malformed JSON validated")

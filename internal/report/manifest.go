@@ -16,12 +16,38 @@ func ManifestTables(m *obs.Manifest) []Table {
 	if m == nil {
 		return nil
 	}
-	return []Table{
+	tables := []Table{
 		manifestStageTable(m),
 		manifestCacheTable(m),
 		manifestPlannerTable(m),
-		manifestDetectionTable(m),
 	}
+	if m.Adaptive != nil {
+		tables = append(tables, manifestAdaptiveTable(m))
+	}
+	return append(tables, manifestDetectionTable(m))
+}
+
+// manifestAdaptiveTable summarizes the adaptive planner's budget spend
+// and per-window outcomes; emitted only for adaptive campaigns.
+func manifestAdaptiveTable(m *obs.Manifest) Table {
+	a := m.Adaptive
+	t := Table{
+		Title: fmt.Sprintf("Adaptive plan (budget %d, used %d of exhaustive %d; recon %d + refine %d @ recon RBW %.0f Hz, %d candidates)",
+			a.Budget, a.CapturesUsed, a.ExhaustiveCaptures,
+			a.ReconCaptures, a.RefineCaptures, a.ReconFresHz, a.Candidates),
+		Header: []string{"window kHz", "priority", "outcome", "captures", "probe score", "detections"},
+	}
+	for _, w := range a.Windows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f–%.2f", w.F1Hz/1e3, w.F2Hz/1e3),
+			fmt.Sprintf("%.1f", w.Priority),
+			w.Outcome,
+			fmt.Sprintf("%d", w.Captures),
+			fmt.Sprintf("%.2f", w.ProbeScore),
+			fmt.Sprintf("%d", w.Detections),
+		})
+	}
+	return t
 }
 
 func manifestStageTable(m *obs.Manifest) Table {

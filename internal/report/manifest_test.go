@@ -43,6 +43,16 @@ func fixedManifest() *obs.Manifest {
 			"bufpool_float":   {Hits: 20, Misses: 5, HitRate: 0.8},
 			"specan_plan":     {Hits: 19, Misses: 1, HitRate: 0.95},
 		},
+		Adaptive: &obs.AdaptiveStats{
+			Budget: 12, CapturesUsed: 10, ExhaustiveCaptures: 40,
+			ReconCaptures: 4, RefineCaptures: 6,
+			ReconFresHz: 1600, Candidates: 3,
+			Windows: []obs.AdaptiveWindow{
+				{F1Hz: 264e3, F2Hz: 365e3, Priority: 9.8, Outcome: obs.WindowRefined, Captures: 6, ProbeScore: 5.1, Detections: 1},
+				{F1Hz: 430e3, F2Hz: 520e3, Priority: 2.3, Outcome: obs.WindowAbandoned, Captures: 2, ProbeScore: 0.9},
+				{F1Hz: 600e3, F2Hz: 700e3, Priority: 2.0, Outcome: obs.WindowSkipped},
+			},
+		},
 		Detections: []obs.DetectionRecord{{
 			FreqHz: 314.8e3, Score: 6371423, BestHarmonic: 1, Harmonics: []int{1, -1},
 			MagnitudeDBm: -103.6, DepthDB: -21.2,
@@ -130,5 +140,54 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 	if len(got) != 4 {
 		t.Fatalf("expected 4 tables, got %d", len(got))
+	}
+}
+
+// TestManifestRoundTripAdaptive is the adaptive-campaign variant: the
+// manifest gains the adaptive-plan table and still round-trips cleanly.
+func TestManifestRoundTripAdaptive(t *testing.T) {
+	sys, err := machine.Lookup("i7-desktop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &core.Runner{Scene: sys.Scene(21, false), Obs: obs.NewRun()}
+	_, err = runner.RunE(core.Campaign{
+		F1: 0.25e6, F2: 0.55e6, Fres: 200,
+		FAlt1: 43.3e3, FDelta: 1e3,
+		X: activity.LDM, Y: activity.LDL1, Seed: 21,
+		MaxFFT: 2048, Budget: 30, Adaptive: &core.AdaptivePlan{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runner.Obs.Manifest()
+	if m == nil {
+		t.Fatal("instrumented campaign produced no manifest")
+	}
+	if m.Adaptive == nil {
+		t.Fatal("adaptive campaign produced no adaptive stats")
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateManifestFile(path); err != nil {
+		t.Fatalf("written manifest fails validation: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ManifestTables(back)
+	want := ManifestTables(m)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tables differ after round trip:\ngot  %+v\nwant %+v", got, want)
+	}
+	if len(got) != 5 {
+		t.Fatalf("expected 5 tables (adaptive plan included), got %d", len(got))
 	}
 }

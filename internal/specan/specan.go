@@ -91,6 +91,12 @@ type Config struct {
 	// accuracy harness (internal/verify) uses this to stress the unchanged
 	// FASE algorithm.
 	Faults *emsim.FaultPlan
+	// Meter, when non-nil, charges every rendered capture against a hard
+	// measurement budget (see Meter). The analyzer only accounts — it
+	// never refuses a sweep; admission control is the planner's job via
+	// Meter.Reserve before each Sweep call. Nil (the default) keeps the
+	// capture path meter-free.
+	Meter *Meter
 	// Obs, when non-nil, attaches run-level observability: per-capture
 	// render/FFT timing, plan-cache statistics, and — when Obs.Tracer is
 	// set — sweep/capture spans. A nil Obs (the default) keeps the hot
@@ -435,6 +441,7 @@ func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.
 	spectral.PeriodogramInPlace(out, buf, p.fs, center, a.cfg.Window)
 	a.arena.PutComplex(buf)
 	capturesTotal.Inc()
+	a.cfg.Meter.record()
 	if run != nil {
 		t2 = time.Now()
 		run.Captures.Inc()

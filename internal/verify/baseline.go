@@ -35,6 +35,13 @@ type Baseline struct {
 	// pass; Check then skips the fault comparison.
 	FaultedPrecision float64 `json:"faulted_precision,omitempty"`
 	FaultedRecall    float64 `json:"faulted_recall,omitempty"`
+
+	// Budget* pin the adaptive planner's best gated operating point
+	// (recall ratio vs exhaustive, and the capture fraction it spent).
+	// Zero when the baseline was recorded without a budget pass; Check
+	// then skips the budget comparison.
+	BudgetRecallRatio float64 `json:"budget_recall_ratio,omitempty"`
+	BudgetCaptureFrac float64 `json:"budget_capture_frac,omitempty"`
 }
 
 // BaselineOf extracts the gated metrics a report would be pinned at.
@@ -50,6 +57,12 @@ func BaselineOf(r *Report) Baseline {
 	if r.Faulted != nil {
 		b.FaultedPrecision = r.Faulted.Precision
 		b.FaultedRecall = r.Faulted.Recall
+	}
+	if r.Budget != nil {
+		if best, err := budgetGate(r.Budget); err == nil {
+			b.BudgetRecallRatio = best.RecallRatio
+			b.BudgetCaptureFrac = best.CaptureFrac
+		}
 	}
 	return b
 }
@@ -108,6 +121,16 @@ func Check(r *Report, b Baseline) error {
 		if b.FaultedPrecision > 0 && r.Faulted.Precision+regressTol < b.FaultedPrecision {
 			return fmt.Errorf("verify: fault-corpus precision regressed: %.4f < baseline %.4f",
 				r.Faulted.Precision, b.FaultedPrecision)
+		}
+	}
+	if r.Budget != nil {
+		best, err := budgetGate(r.Budget)
+		if err != nil {
+			return err
+		}
+		if b.BudgetRecallRatio > 0 && best.RecallRatio+regressTol < b.BudgetRecallRatio {
+			return fmt.Errorf("verify: budget recall ratio regressed: %.4f < baseline %.4f (at %.1f%% captures)",
+				best.RecallRatio, b.BudgetRecallRatio, 100*best.CaptureFrac)
 		}
 	}
 	return nil

@@ -58,6 +58,9 @@ type Report struct {
 	NoFault *Corpus    `json:"no_fault"`
 	Faulted *Corpus    `json:"faulted,omitempty"`
 	ROC     []ROCPoint `json:"roc"`
+	// Budget is the recall-vs-budget sweep of the adaptive planner; nil
+	// unless Config.Budget requested the pass.
+	Budget *BudgetReport `json:"budget,omitempty"`
 
 	// SimulatedSeconds is the modeled analyzer observation time summed
 	// over every campaign the harness ran (both passes).

@@ -16,7 +16,32 @@ func Tables(r *Report) []report.Table {
 		tables = append(tables, corpusTable("Fault-injected corpus", r.Faulted))
 	}
 	tables = append(tables, rocTable(r))
+	if r.Budget != nil {
+		tables = append(tables, budgetTable(r.Budget))
+	}
 	return tables
+}
+
+// budgetTable renders the adaptive planner's recall-vs-budget sweep.
+func budgetTable(b *BudgetReport) report.Table {
+	t := report.Table{
+		Title: fmt.Sprintf("Adaptive recall vs budget (exhaustive: %d captures, recall %.4f, MaxFFT %d)",
+			b.ExhaustiveCaptures, b.ExhaustiveRecall, b.MaxFFT),
+		Header: []string{"budget", "captures", "capture frac", "found", "FP", "recall", "ratio", "windows r/a/s"},
+	}
+	for _, p := range b.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d (%.0f%%)", p.Budget, 100*p.BudgetFrac),
+			fmt.Sprintf("%d", p.CapturesUsed),
+			fmt.Sprintf("%.3f", p.CaptureFrac),
+			fmt.Sprintf("%d / %d", p.CarriersFound, b.CarriersTotal),
+			fmt.Sprintf("%d", p.FP),
+			fmt.Sprintf("%.4f", p.Recall),
+			fmt.Sprintf("%.4f", p.RecallRatio),
+			fmt.Sprintf("%d/%d/%d", p.Refined, p.Abandoned, p.Skipped),
+		})
+	}
+	return t
 }
 
 func summaryTable(r *Report) report.Table {

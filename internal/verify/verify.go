@@ -54,6 +54,11 @@ type Config struct {
 	// Faults is the measurement-chain degradation for the fault pass;
 	// nil skips that pass. Use DefaultFaultPlan for the standard suite.
 	Faults *emsim.FaultPlan
+	// Budget, when true, adds the recall-vs-budget pass: the corpus
+	// re-run with the adaptive planner at the standard budget fractions
+	// against an exhaustive reference at the pinned budgetMaxFFT (see
+	// budget.go), producing Report.Budget and its gates.
+	Budget bool
 	// Spec bounds the randomized systems; its F1/F2 are filled from the
 	// campaign band.
 	Spec machine.RandomSpec
@@ -259,6 +264,15 @@ func Evaluate(cfg Config) (*Report, error) {
 		endFault := run.Stage("fault_corpus")
 		rep.Faulted, err = runCorpus(cfg, scens, cfg.Faults, nil, &rep.SimulatedSeconds)
 		endFault()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.Budget {
+		endBudget := run.Stage("budget_corpus")
+		rep.Budget, err = runBudget(cfg, scens, &rep.SimulatedSeconds)
+		endBudget()
 		if err != nil {
 			return nil, err
 		}
