@@ -193,20 +193,45 @@ cover:
 	fi
 
 # obs-smoke runs a tiny instrumented campaign through the CLI with every
-# observability output enabled, then validates the run manifest against
-# the schema and sanity-checks the trace and metrics files.
+# observability output enabled, then validates the run manifest and event
+# journal against their schemas, sanity-checks the trace and metrics
+# files, archives two runs into a run-history store and diffs them, and
+# exercises the live debug server end-to-end (/progress, Prometheus
+# /metrics, and the /events SSE stream) against a lingering scan.
 obs-smoke:
 	@tmp=$$(mktemp -d); \
 	$(GO) build -o $$tmp/fase ./cmd/fase || exit 1; \
 	$$tmp/fase -f1 250e3 -f2 550e3 -fres 200 -fdelta 1e3 \
 		-manifest-out $$tmp/run.json -trace-out $$tmp/trace.json \
-		-metrics-out $$tmp/metrics.json >/dev/null || { rm -rf $$tmp; exit 1; }; \
+		-metrics-out $$tmp/metrics.json -events-out $$tmp/events.jsonl \
+		-runs-dir $$tmp/runs >/dev/null || { rm -rf $$tmp; exit 1; }; \
 	$$tmp/fase -validate-manifest $$tmp/run.json || { rm -rf $$tmp; exit 1; }; \
-	for f in run.json trace.json metrics.json; do \
+	$$tmp/fase -validate-events $$tmp/events.jsonl || { rm -rf $$tmp; exit 1; }; \
+	for f in run.json trace.json metrics.json events.jsonl; do \
 		[ -s $$tmp/$$f ] || { echo "obs-smoke: $$f missing or empty"; rm -rf $$tmp; exit 1; }; \
 	done; \
 	grep -q '"traceEvents"' $$tmp/trace.json || { echo "obs-smoke: trace output malformed"; rm -rf $$tmp; exit 1; }; \
 	grep -q '"fase_core_campaigns_total": 1' $$tmp/metrics.json || { echo "obs-smoke: metrics snapshot malformed"; rm -rf $$tmp; exit 1; }; \
 	grep -q '"components_skipped": 0' $$tmp/run.json && { echo "obs-smoke: planner recorded no skips"; rm -rf $$tmp; exit 1; }; \
+	grep -q '"kind":"campaign_start"' $$tmp/events.jsonl || { echo "obs-smoke: journal missing campaign_start"; rm -rf $$tmp; exit 1; }; \
+	grep -q '"kind":"sweep_end"' $$tmp/events.jsonl || { echo "obs-smoke: journal missing sweep events"; rm -rf $$tmp; exit 1; }; \
+	grep -q '"build"' $$tmp/run.json || { echo "obs-smoke: manifest missing build info"; rm -rf $$tmp; exit 1; }; \
+	$$tmp/fase -f1 250e3 -f2 550e3 -fres 200 -fdelta 1e3 -seed 2 \
+		-runs-dir $$tmp/runs >/dev/null || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/fase runs -dir $$tmp/runs | grep -q '^@1' || { echo "obs-smoke: run store did not list two runs"; rm -rf $$tmp; exit 1; }; \
+	$$tmp/fase diff -dir $$tmp/runs @1 @0 > $$tmp/diff.txt || { rm -rf $$tmp; exit 1; }; \
+	grep -q '^run diff:' $$tmp/diff.txt || { echo "obs-smoke: diff report malformed"; rm -rf $$tmp; exit 1; }; \
+	grep -q 'detections (matched within' $$tmp/diff.txt || { echo "obs-smoke: diff missing detection section"; rm -rf $$tmp; exit 1; }; \
+	$$tmp/fase -f1 250e3 -f2 350e3 -fres 400 -fdelta 2e3 \
+		-pprof 127.0.0.1:0 -linger 10s > $$tmp/live.log 2>&1 & pid=$$!; \
+	addr=""; i=0; while [ $$i -lt 100 ]; do \
+		addr=$$(sed -n 's|^pprof: http://\([^/]*\)/debug.*|\1|p' $$tmp/live.log); \
+		[ -n "$$addr" ] && break; i=$$((i+1)); sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "obs-smoke: debug server never came up"; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	curl -sf "http://$$addr/progress" | grep -q '"stage"' || { echo "obs-smoke: /progress malformed"; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	curl -sf "http://$$addr/metrics?format=prom" | grep -q '^fase_core_campaigns_total' || { echo "obs-smoke: prometheus exposition malformed"; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	curl -sN --max-time 3 "http://$$addr/events" | grep -q 'campaign_start' || { echo "obs-smoke: /events SSE stream malformed"; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -rf $$tmp; \
 	echo "obs-smoke: ok"

@@ -15,7 +15,11 @@
 //	fase -system turion-laptop -classify
 //	fase -adaptive -budget 120 -manifest-out run.json
 //	fase -manifest-out run.json -trace-out trace.json -pprof localhost:6060
+//	fase -events-out events.jsonl -runs-dir runs/
 //	fase -validate-manifest run.json
+//	fase -validate-events events.jsonl
+//	fase runs -dir runs/
+//	fase diff -dir runs/ @1 @0
 //	fase -verify -verify-baseline VERIFY_baseline.json
 //	fase -verify -verify-scenarios 10 -verify-out report.json -verify-roc-csv roc.csv
 //	fase -verify -verify-budget -verify-out report.json
@@ -33,6 +37,7 @@ import (
 	"fase/internal/core"
 	"fase/internal/machine"
 	"fase/internal/obs"
+	"fase/internal/runstore"
 )
 
 func main() {
@@ -40,6 +45,14 @@ func main() {
 }
 
 func run() int {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "runs":
+			return runRuns(os.Args[2:])
+		case "diff":
+			return runDiff(os.Args[2:])
+		}
+	}
 	sysName := flag.String("system", "i7-desktop", "system model to measure (see -list)")
 	list := flag.Bool("list", false, "list available system models and exit")
 	pair := flag.String("pair", "LDM/LDL1", "X/Y activity pair for the alternation micro-benchmark")
@@ -59,8 +72,12 @@ func run() int {
 	metricsOut := flag.String("metrics-out", "", "write a JSON snapshot of process metrics to FILE on exit")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of campaign stages to FILE (load in chrome://tracing or Perfetto)")
 	manifestOut := flag.String("manifest-out", "", "write the primary campaign's run manifest (JSON) to FILE")
-	pprofAddr := flag.String("pprof", "", "serve live pprof + /metrics on ADDR (e.g. localhost:6060) while running")
+	pprofAddr := flag.String("pprof", "", "serve live pprof + /metrics + /progress + /events on ADDR (e.g. localhost:6060) while running")
+	eventsOut := flag.String("events-out", "", "write the campaign's event journal (JSONL) to FILE")
+	runsDir := flag.String("runs-dir", "", "archive the run manifest into the run-history store at DIR")
+	linger := flag.Duration("linger", 0, "keep the -pprof debug server up for DURATION after the scan finishes")
 	validateManifest := flag.String("validate-manifest", "", "validate a run-manifest FILE against the schema and exit")
+	validateEvents := flag.String("validate-events", "", "validate an event-journal FILE against the schema and exit")
 	verifyMode := flag.Bool("verify", false, "run the ground-truth accuracy harness instead of a scan")
 	vf := verifyFlags{
 		scenarios:   flag.Int("verify-scenarios", 0, "accuracy corpus size (0 = default 60)"),
@@ -86,6 +103,14 @@ func run() int {
 		fmt.Printf("%s: valid %s\n", *validateManifest, obs.ManifestSchema)
 		return 0
 	}
+	if *validateEvents != "" {
+		if err := obs.ValidateJournalFile(*validateEvents); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("%s: valid %s\n", *validateEvents, obs.JournalSchema)
+		return 0
+	}
 	if *list {
 		names := make([]string, 0)
 		for n := range machine.Registry() {
@@ -108,24 +133,29 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	if *pprofAddr != "" {
-		ds, err := obs.Serve(*pprofAddr, obs.Default)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		defer ds.Close()
-		fmt.Printf("pprof: http://%s/debug/pprof/  metrics: http://%s/metrics\n", ds.Addr, ds.Addr)
-	}
 	runner := &core.Runner{Scene: sys.Scene(*seed, *env)}
 	// The primary campaign carries the observability run; the optional
 	// classification pass shares the tracer lanes but not the manifest.
-	instrumented := *manifestOut != "" || *traceOut != ""
+	instrumented := *manifestOut != "" || *traceOut != "" ||
+		*eventsOut != "" || *runsDir != "" || *pprofAddr != ""
 	if instrumented {
 		runner.Obs = obs.NewRun()
 		if *traceOut != "" {
 			runner.Obs.Tracer = obs.NewTracer()
 		}
+		if *eventsOut != "" || *pprofAddr != "" {
+			runner.Obs.Journal = obs.NewJournal()
+		}
+	}
+	if *pprofAddr != "" {
+		ds, err := obs.Serve(*pprofAddr, obs.Default, runner.Obs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer ds.Close()
+		fmt.Printf("pprof: http://%s/debug/pprof/  metrics: http://%s/metrics  progress: http://%s/progress  events: http://%s/events\n",
+			ds.Addr, ds.Addr, ds.Addr, ds.Addr)
 	}
 	campaign := core.Campaign{
 		F1: *f1, F2: *f2, Fres: *fres,
@@ -194,7 +224,101 @@ func run() int {
 			ok = false
 		}
 	}
+	if *eventsOut != "" {
+		if err := runner.Obs.Journal.WriteJSONLFile(*eventsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			ok = false
+		}
+	}
+	if *runsDir != "" {
+		if err := archiveRun(*runsDir, runner.Obs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			ok = false
+		}
+	}
+	if *linger > 0 && *pprofAddr != "" {
+		fmt.Printf("lingering %s for debug-server clients...\n", *linger)
+		time.Sleep(*linger)
+	}
 	if !ok {
+		return 1
+	}
+	return 0
+}
+
+// archiveRun stores the finished run's manifest in the history store.
+func archiveRun(dir string, run *obs.Run) error {
+	m := run.Manifest()
+	if m == nil {
+		return fmt.Errorf("runstore: no manifest to archive (campaign did not finish)")
+	}
+	store, err := runstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	e, err := store.Add(m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("archived run %s -> %s\n", e.ID, e.Path)
+	return nil
+}
+
+// runRuns implements `fase runs -dir DIR`: list the archived runs,
+// newest first.
+func runRuns(args []string) int {
+	fs := flag.NewFlagSet("fase runs", flag.ExitOnError)
+	dir := fs.String("dir", "runs", "run-history store directory")
+	_ = fs.Parse(args)
+	store, err := runstore.Open(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	entries, err := store.List()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(entries) == 0 {
+		fmt.Printf("no archived runs in %s\n", *dir)
+		return 0
+	}
+	fmt.Printf("%-4s %-14s %-20s %s\n", "ref", "id", "created", "path")
+	for i, e := range entries {
+		fmt.Printf("@%-3d %-14s %-20s %s\n", i, e.ID,
+			time.Unix(e.CreatedUnix, 0).UTC().Format("2006-01-02T15:04:05Z"), e.Path)
+	}
+	return 0
+}
+
+// runDiff implements `fase diff -dir DIR A B`: resolve two run
+// references (file path, @N, or id prefix) and print their delta.
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("fase diff", flag.ExitOnError)
+	dir := fs.String("dir", "runs", "run-history store directory")
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: fase diff [-dir DIR] <runA> <runB>")
+		return 2
+	}
+	store, err := runstore.Open(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	a, aID, err := store.Resolve(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	b, bID, err := store.Resolve(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := runstore.Compare(a, b, aID, bID).WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	return 0

@@ -285,11 +285,18 @@ func (r *Runner) sweepBand(an *specan.Analyzer, c Campaign, f1, f2 float64, falt
 				X: c.X, Y: c.Y, FAlt: faGen, Jitter: *c.Jitter,
 				Seed: c.Seed + int64(i)*104729,
 			}, an.TotalDuration(f1, f2)+0.05)
+			// Track 1+i is the global ladder index's event stream; the
+			// planner processes windows sequentially, so each track sees its
+			// sweeps in a deterministic order even though the sweeps of one
+			// band run concurrently.
+			jt := r.Obs.Track(1 + int64(i))
+			jt.Emit(obs.Event{Kind: obs.EventSweepPlan, FAltHz: fa, F1Hz: f1, F2Hz: f2})
 			out[j] = an.Sweep(specan.Request{
 				Scene: r.Scene, F1: f1, F2: f2, Activity: tr,
 				Seed:      c.Seed,
 				NearField: r.NearField, NearFieldGainDB: r.NearFieldGainDB,
-				Span: span,
+				Span:   span,
+				Events: jt,
 			})
 		}(j, i)
 	}
@@ -463,6 +470,25 @@ func (r *Runner) runAdaptive(c Campaign) (*Result, error) {
 	}
 	meter := specan.NewMeter(int64(c.Budget))
 	falts := c.FAlts()
+	run.SetBudget(int64(c.Budget))
+	run.SetTotals(int64(c.Budget), 0, 0)
+	run.Track(0).Emit(obs.Event{Kind: obs.EventCampaignStart, Name: "adaptive",
+		F1Hz: c.F1, F2Hz: c.F2, Total: int64(c.Budget)})
+	if run != nil {
+		// Reservations happen sequentially on the planner goroutine, so
+		// this hook emits a deterministic budget-event sequence on the
+		// coordinator track.
+		meter.OnReserve = func(n int64, granted bool) {
+			outcome := obs.ReserveGranted
+			if !granted {
+				outcome = obs.ReserveDenied
+			}
+			run.SetBudgetReserved(meter.Reserved())
+			run.Track(0).Emit(obs.Event{Kind: obs.EventBudgetReserve,
+				Captures: n, Outcome: outcome,
+				Reserved: meter.Reserved(), Cap: meter.Cap()})
+		}
+	}
 
 	anCfg := func(fres float64, avg int, m *specan.Meter) specan.Config {
 		return specan.Config{Fres: fres, Averages: avg, Parallelism: c.Parallelism,
@@ -544,6 +570,8 @@ func (r *Runner) runAdaptive(c Campaign) (*Result, error) {
 			}
 		}
 		releaseSmoothed(sm)
+		r.Obs.Track(0).Emit(obs.Event{Kind: obs.EventWindowProbe,
+			F1Hz: w.f1, F2Hz: w.f2, Priority: w.priority, Score: best})
 		return best
 	}
 	refine := func(w refineWindow, _ float64) int {
@@ -619,6 +647,10 @@ func (r *Runner) runAdaptive(c Campaign) (*Result, error) {
 			Outcome: o.outcome, Captures: o.captures,
 			ProbeScore: o.probeScore, Detections: n,
 		}
+		run.Track(0).Emit(obs.Event{Kind: obs.EventWindowOutcome,
+			F1Hz: o.window.f1, F2Hz: o.window.f2, Priority: o.window.priority,
+			Outcome: o.outcome, Captures: o.captures,
+			Score: o.probeScore, Detections: n})
 		switch o.outcome {
 		case obs.WindowRefined:
 			adaptiveRefinedTotal.Inc()
@@ -633,6 +665,9 @@ func (r *Runner) runAdaptive(c Campaign) (*Result, error) {
 		float64(refineUsed)*refineAn.CaptureDuration()
 	res.Adaptive = stats
 	detectionsTotal.Add(int64(len(res.Detections)))
+	emitDetections(run, res, c)
+	run.Track(0).Emit(obs.Event{Kind: obs.EventCampaignEnd,
+		Captures: meter.Used(), Detections: len(res.Detections)})
 	camp.End()
 	if run != nil {
 		if m := run.Finish(manifestConfig(c), res.SimulatedSeconds, provenance(res, c)); m != nil {

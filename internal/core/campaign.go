@@ -382,6 +382,9 @@ func (r *Runner) RunE(c Campaign) (*Result, error) {
 	falts := c.FAlts()
 	res.SimulatedSeconds = float64(len(falts)) * an.TotalDuration(c.F1, c.F2)
 	res.Captures = int64(len(falts)) * an.SweepCaptures(c.F1, c.F2)
+	run.SetTotals(res.Captures, int64(len(falts)), res.SimulatedSeconds)
+	run.Track(0).Emit(obs.Event{Kind: obs.EventCampaignStart, Name: "exhaustive",
+		F1Hz: c.F1, F2Hz: c.F2, Total: res.Captures})
 	// The per-f_alt measurements are independent observations of the same
 	// noise realization: every sweep uses the campaign seed, so they share
 	// measurement noise and differ only in their activity trace. Shared
@@ -405,11 +408,17 @@ func (r *Runner) RunE(c Campaign) (*Result, error) {
 				X: c.X, Y: c.Y, FAlt: faGen, Jitter: *c.Jitter,
 				Seed: c.Seed + int64(i)*104729,
 			}, an.TotalDuration(c.F1, c.F2)+0.05)
+			// Journal track 1+i belongs to this ladder index: events within
+			// it are sequential, so the canonical journal is identical at
+			// any Parallelism.
+			jt := run.Track(1 + int64(i))
+			jt.Emit(obs.Event{Kind: obs.EventSweepPlan, FAltHz: fa, F1Hz: c.F1, F2Hz: c.F2})
 			sp := an.Sweep(specan.Request{
 				Scene: r.Scene, F1: c.F1, F2: c.F2, Activity: tr,
 				Seed:      c.Seed,
 				NearField: r.NearField, NearFieldGainDB: r.NearFieldGainDB,
-				Span: sweepsSpan,
+				Span:   sweepsSpan,
+				Events: jt,
 			})
 			res.Measurements[i] = Measurement{FAlt: fa, Spectrum: sp}
 		}(i, fa)
@@ -449,11 +458,35 @@ func (r *Runner) RunE(c Campaign) (*Result, error) {
 		sp.PmW = nil
 	}
 	detectionsTotal.Add(int64(len(res.Detections)))
+	emitDetections(run, res, c)
+	run.Track(0).Emit(obs.Event{Kind: obs.EventCampaignEnd,
+		Captures: res.Captures, Detections: len(res.Detections)})
 	camp.End()
 	if run != nil {
 		run.Finish(manifestConfig(c), res.SimulatedSeconds, provenance(res, c))
 	}
 	return res, nil
+}
+
+// emitDetections journals the campaign's merged detections on the
+// coordinator track: one detection event per carrier followed by its
+// per-harmonic evidence — the journal-stream analogue of the manifest's
+// provenance records. Detections are frequency-sorted, so the emission
+// order is deterministic.
+func emitDetections(run *obs.Run, res *Result, c Campaign) {
+	ct := run.Track(0)
+	if ct == nil {
+		return
+	}
+	for _, d := range res.Detections {
+		ct.Emit(obs.Event{Kind: obs.EventDetection,
+			FreqHz: d.Freq, Score: d.Score, Harmonic: d.BestHarmonic})
+		for _, h := range c.Harmonics {
+			ct.Emit(obs.Event{Kind: obs.EventDetectionHarmonic,
+				FreqHz: d.Freq, Harmonic: h,
+				Score: res.Scores[h][d.Bin], Elevated: res.Elevated[h][d.Bin]})
+		}
+	}
 }
 
 // campaignConfig is the resolved campaign configuration as recorded in

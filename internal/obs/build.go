@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the binary that produced a run: module version (or
+// VCS revision for non-released builds), Go toolchain, and target
+// platform. It is embedded in every manifest (Manifest.Build) and exposed
+// as the fase_build_info gauge, so archived runs and scraped metrics both
+// name their producer.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+// CurrentBuildInfo reads the process's build metadata. Version falls back
+// to the VCS revision (truncated) and then "devel" when the binary was
+// not built from a released module version.
+func CurrentBuildInfo() BuildInfo {
+	b := BuildInfo{
+		Version:   "devel",
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		b.Version = v
+		return b
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			b.Version = s.Value[:12]
+			return b
+		}
+	}
+	return b
+}
+
+// RegisterBuildInfo publishes the fase_build_info gauge (value 1, build
+// metadata as labels encoded in the metric name) on reg — the standard
+// "info metric" pattern, so a Prometheus scrape identifies the binary.
+func RegisterBuildInfo(reg *Registry, b BuildInfo) {
+	name := fmt.Sprintf(`%s{version=%q,go=%q,os=%q,arch=%q}`,
+		MetricBuildInfo, b.Version, b.GoVersion, b.OS, b.Arch)
+	reg.Gauge(name).Set(1)
+}
+
+func init() {
+	RegisterBuildInfo(Default, CurrentBuildInfo())
+}

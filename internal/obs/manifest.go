@@ -52,6 +52,25 @@ type Manifest struct {
 	// and the planner's per-window decisions — the provenance behind
 	// "why was this band (not) re-swept".
 	Adaptive *AdaptiveStats `json:"adaptive,omitempty"`
+	// Build identifies the binary that produced the run (module version
+	// or VCS revision, Go toolchain, target platform). Older manifests
+	// omit it.
+	Build BuildInfo `json:"build,omitempty"`
+	// Events is present on runs that carried an event journal: how many
+	// events the run emitted and how many live-subscriber deliveries the
+	// drop policy discarded (the journal itself is lossless).
+	Events *EventStats `json:"events,omitempty"`
+	// Histograms are the run-attributed metric distributions (registry
+	// deltas with at least one observation), with derived p50/p90/p99.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// EventStats summarizes a run's event journal in the manifest.
+type EventStats struct {
+	Emitted int64 `json:"emitted"`
+	// Dropped counts live-stream deliveries discarded by the
+	// slow-subscriber policy; the archived journal is unaffected.
+	Dropped int64 `json:"dropped"`
 }
 
 // Adaptive-window outcomes as recorded in AdaptiveWindow.Outcome.
@@ -348,6 +367,46 @@ func ValidateManifest(data []byte) error {
 			if w.Outcome == WindowSkipped && w.Captures != 0 {
 				return fmt.Errorf("obs: adaptive window %d skipped but charged %d captures", i, w.Captures)
 			}
+		}
+	}
+	for _, field := range [][2]string{
+		{"version", m.Build.Version}, {"go_version", m.Build.GoVersion},
+		{"os", m.Build.OS}, {"arch", m.Build.Arch},
+	} {
+		if field[1] == "" {
+			return fmt.Errorf("obs: manifest build.%s is empty", field[0])
+		}
+	}
+	if e := m.Events; e != nil {
+		if e.Emitted <= 0 {
+			return fmt.Errorf("obs: events block present but emitted is %d", e.Emitted)
+		}
+		if e.Dropped < 0 {
+			return fmt.Errorf("obs: events.dropped %d is negative", e.Dropped)
+		}
+	}
+	for name, h := range m.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return fmt.Errorf("obs: histogram %q has %d counts for %d bounds",
+				name, len(h.Counts), len(h.Bounds))
+		}
+		var sum int64
+		for _, c := range h.Counts {
+			if c < 0 {
+				return fmt.Errorf("obs: histogram %q has a negative bucket count", name)
+			}
+			sum += c
+		}
+		if sum != h.Count || h.Count <= 0 {
+			return fmt.Errorf("obs: histogram %q count %d does not match buckets (sum %d, must be positive)",
+				name, h.Count, sum)
+		}
+		if math.IsNaN(h.Sum) || math.IsInf(h.Sum, 0) {
+			return fmt.Errorf("obs: histogram %q has non-finite sum", name)
+		}
+		if h.P50 < 0 || h.P90 < h.P50 || h.P99 < h.P90 {
+			return fmt.Errorf("obs: histogram %q quantiles not monotone (p50=%g p90=%g p99=%g)",
+				name, h.P50, h.P90, h.P99)
 		}
 	}
 	for i, d := range m.Detections {

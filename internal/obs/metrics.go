@@ -18,6 +18,8 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -67,6 +69,13 @@ const (
 	// Run.AddComponentRender) — the distribution behind the manifest's
 	// per-component table.
 	MetricRenderComponentSeconds = "fase_render_component_seconds"
+	// Event-journal counters: events emitted across all journals, and SSE
+	// deliveries the slow-subscriber drop policy discarded.
+	MetricEventsEmitted = "fase_obs_events_emitted_total"
+	MetricEventsDropped = "fase_obs_events_dropped_total"
+	// MetricBuildInfo is the build-identity info gauge (value 1, build
+	// metadata as labels — see RegisterBuildInfo).
+	MetricBuildInfo = "fase_build_info"
 )
 
 // Counter is a monotonically increasing atomic counter. The zero value is
@@ -164,12 +173,59 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.Add(v)
 }
 
-// HistogramSnapshot is a point-in-time copy of a histogram.
+// HistogramSnapshot is a point-in-time copy of a histogram. P50/P90/P99
+// are derived latency-quantile estimates (see Quantile) so /metrics and
+// manifest tables show quantiles without re-deriving them from buckets.
 type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// within the bucket holding the target rank, the standard fixed-bucket
+// estimator: the first bucket interpolates from 0, and ranks landing in
+// the overflow bucket clamp to the last bound (the histogram records no
+// upper edge there). Returns 0 for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			return lo + (hi-lo)*(target-cum)/float64(c)
+		}
+		cum = next
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// computeQuantiles fills the derived quantile fields from the buckets.
+func (s *HistogramSnapshot) computeQuantiles() {
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -179,6 +235,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		s.Counts[i] = c
 		s.Count += c
 	}
+	s.computeQuantiles()
 	return s
 }
 
@@ -324,6 +381,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			d.Counts[i] = h.Counts[i] - p.Counts[i]
 			d.Count += d.Counts[i]
 		}
+		d.computeQuantiles()
 		out.Histograms[name] = d
 	}
 	return out
@@ -335,4 +393,104 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())
+}
+
+// promSplitLabels splits a registry name that encodes labels — the
+// info-metric convention used by RegisterBuildInfo — into its base name
+// and the full series name. Plain names return themselves twice.
+func promSplitLabels(name string) (base, series string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name
+	}
+	return name, name
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the registry's snapshot in the Prometheus text
+// exposition format (version 0.0.4): one sorted series per counter and
+// gauge, and histograms expanded into cumulative _bucket{le="..."}
+// series plus _sum and _count. Served at /metrics?format=prom.
+func (r *Registry) WriteProm(w io.Writer) error {
+	s := r.Snapshot()
+	var b []byte
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, series := promSplitLabels(name)
+		b = append(b, "# TYPE "...)
+		b = append(b, base...)
+		b = append(b, " counter\n"...)
+		b = append(b, series...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, s.Counters[name], 10)
+		b = append(b, '\n')
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, series := promSplitLabels(name)
+		b = append(b, "# TYPE "...)
+		b = append(b, base...)
+		b = append(b, " gauge\n"...)
+		b = append(b, series...)
+		b = append(b, ' ')
+		b = append(b, promFloat(s.Gauges[name])...)
+		b = append(b, '\n')
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		b = append(b, "# TYPE "...)
+		b = append(b, name...)
+		b = append(b, " histogram\n"...)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			b = append(b, name...)
+			b = append(b, `_bucket{le="`...)
+			b = append(b, promFloat(bound)...)
+			b = append(b, `"} `...)
+			b = strconv.AppendInt(b, cum, 10)
+			b = append(b, '\n')
+		}
+		b = append(b, name...)
+		b = append(b, `_bucket{le="+Inf"} `...)
+		b = strconv.AppendInt(b, h.Count, 10)
+		b = append(b, '\n')
+		b = append(b, name...)
+		b = append(b, "_sum "...)
+		b = append(b, promFloat(h.Sum)...)
+		b = append(b, '\n')
+		b = append(b, name...)
+		b = append(b, "_count "...)
+		b = strconv.AppendInt(b, h.Count, 10)
+		b = append(b, '\n')
+	}
+
+	_, err := w.Write(b)
+	return err
 }

@@ -387,6 +387,17 @@ func TestFinishSanitizesNonFinite(t *testing.T) {
 	}
 }
 
+// validHistogramSnapshot is a consistent histogram record the validator
+// must accept; the reject cases each break one invariant.
+func validHistogramSnapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: 4, Sum: 5.5,
+		Bounds: []float64{1, 2, 4},
+		Counts: []int64{1, 2, 1, 0},
+		P50:    1.5, P90: 3.2, P99: 3.92,
+	}
+}
+
 // validAdaptiveStats is a consistent adaptive-planner record the
 // validator must accept; the reject cases each break one invariant.
 func validAdaptiveStats() *AdaptiveStats {
@@ -470,6 +481,34 @@ func TestValidateManifestRejects(t *testing.T) {
 			m.Adaptive = validAdaptiveStats()
 			m.Adaptive.Windows[1].Captures = 3
 		}},
+		{"empty build version", func(m *Manifest) { m.Build.Version = "" }},
+		{"empty build go version", func(m *Manifest) { m.Build.GoVersion = "" }},
+		{"empty build os", func(m *Manifest) { m.Build.OS = "" }},
+		{"empty build arch", func(m *Manifest) { m.Build.Arch = "" }},
+		{"events zero emitted", func(m *Manifest) { m.Events = &EventStats{} }},
+		{"events negative dropped", func(m *Manifest) {
+			m.Events = &EventStats{Emitted: 5, Dropped: -1}
+		}},
+		{"histogram counts/bounds mismatch", func(m *Manifest) {
+			h := validHistogramSnapshot()
+			h.Counts = h.Counts[:len(h.Counts)-1]
+			m.Histograms = map[string]HistogramSnapshot{"h": h}
+		}},
+		{"histogram negative bucket", func(m *Manifest) {
+			h := validHistogramSnapshot()
+			h.Counts[0] = -1
+			m.Histograms = map[string]HistogramSnapshot{"h": h}
+		}},
+		{"histogram count/bucket mismatch", func(m *Manifest) {
+			h := validHistogramSnapshot()
+			h.Count++
+			m.Histograms = map[string]HistogramSnapshot{"h": h}
+		}},
+		{"histogram quantiles not monotone", func(m *Manifest) {
+			h := validHistogramSnapshot()
+			h.P90 = h.P50 / 2
+			m.Histograms = map[string]HistogramSnapshot{"h": h}
+		}},
 	}
 	for _, tc := range cases {
 		m := base()
@@ -494,6 +533,14 @@ func TestValidateManifestRejects(t *testing.T) {
 	if err := ValidateManifest(data); err != nil {
 		t.Fatalf("manifest with adaptive stats invalid: %v", err)
 	}
+	// ... and one carrying event stats and histogram quantiles.
+	withObs := base()
+	withObs.Events = &EventStats{Emitted: 17, Dropped: 2}
+	withObs.Histograms = map[string]HistogramSnapshot{"h": validHistogramSnapshot()}
+	data, _ = json.Marshal(withObs)
+	if err := ValidateManifest(data); err != nil {
+		t.Fatalf("manifest with events and histograms invalid: %v", err)
+	}
 	if err := ValidateManifest([]byte("{")); err == nil {
 		t.Error("malformed JSON validated")
 	}
@@ -502,7 +549,7 @@ func TestValidateManifestRejects(t *testing.T) {
 func TestDebugServer(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("fase_test_total").Add(7)
-	ds, err := Serve("127.0.0.1:0", reg)
+	ds, err := Serve("127.0.0.1:0", reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,11 @@ import (
 type Run struct {
 	// Tracer, when non-nil, records spans alongside the timings.
 	Tracer *Tracer
+	// Journal, when non-nil, receives the run's structured event stream
+	// (see events.go): Stage emits stage_start/stage_end on track 0, and
+	// the campaign/planner/analyzer emit their own events through tracks
+	// obtained from Track.
+	Journal *Journal
 
 	// Captures counts analyzer captures rendered under this run.
 	Captures Counter
@@ -45,11 +50,23 @@ type Run struct {
 	startCPU  float64
 	startSnap Snapshot
 
+	progress progress
+
 	mu         sync.Mutex
 	stages     []StageTiming
 	segments   []SegmentPlan
 	components map[string]*componentStat
 	manifest   *Manifest
+}
+
+// Track returns the journal track with the given id, or nil (whose Emit
+// is a no-op) when the run or its journal is nil. Track 0 is the
+// campaign coordinator; sweeps use 1 + their ladder index.
+func (r *Run) Track(id int64) *JournalTrack {
+	if r == nil || r.Journal == nil {
+		return nil
+	}
+	return r.Journal.Track(id)
 }
 
 // componentStat accumulates one component's render attribution (guarded
@@ -81,6 +98,8 @@ func (r *Run) Stage(name string) func() {
 	if r == nil {
 		return nopStageEnd
 	}
+	r.SetStage(name)
+	r.Track(0).Emit(Event{Kind: EventStageStart, Name: name})
 	t0, c0 := time.Now(), processCPUSeconds()
 	return func() {
 		st := StageTiming{Name: name, WallSeconds: time.Since(t0).Seconds(),
@@ -88,6 +107,7 @@ func (r *Run) Stage(name string) func() {
 		r.mu.Lock()
 		r.stages = append(r.stages, st)
 		r.mu.Unlock()
+		r.Track(0).Emit(Event{Kind: EventStageEnd, Name: name, WallSeconds: st.WallSeconds})
 	}
 }
 
@@ -204,6 +224,20 @@ func (r *Run) Finish(config any, simulatedSeconds float64, detections []Detectio
 			"render_static":   cacheStats(delta, MetricStaticCacheHits, MetricStaticCacheMisses),
 		},
 		Detections: sanitizeDetections(detections),
+		Build:      CurrentBuildInfo(),
+	}
+	if r.Journal != nil {
+		emitted, dropped := r.Journal.Stats()
+		m.Events = &EventStats{Emitted: emitted, Dropped: dropped}
+	}
+	for name, h := range delta.Histograms {
+		if h.Count <= 0 {
+			continue
+		}
+		if m.Histograms == nil {
+			m.Histograms = make(map[string]HistogramSnapshot)
+		}
+		m.Histograms[name] = h
 	}
 	if len(r.components) > 0 {
 		comps := make([]ComponentRenderStats, 0, len(r.components))
@@ -220,6 +254,7 @@ func (r *Run) Finish(config any, simulatedSeconds float64, detections []Detectio
 		m.RenderComponents = comps
 	}
 	r.manifest = m
+	r.progress.done.Store(true)
 	return m
 }
 

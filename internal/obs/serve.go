@@ -1,38 +1,77 @@
 package obs
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
 // DebugServer serves live diagnostics for a running campaign:
-// net/http/pprof under /debug/pprof/ and the registry's expvar-style
-// snapshot at /metrics.
+// net/http/pprof under /debug/pprof/, the registry's snapshot at
+// /metrics (JSON by default, Prometheus text with ?format=prom), the
+// run's live position at /progress, and the event journal as a
+// server-sent-event stream at /events.
 type DebugServer struct {
 	// Addr is the address actually listened on (useful with ":0").
 	Addr string
 	srv  *http.Server
 	lis  net.Listener
+
+	// done closes when the server shuts down, unblocking SSE handlers so
+	// Shutdown can drain them.
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
-// Serve starts a debug server on addr in a background goroutine. The
-// registry's snapshot is served at /metrics; pprof's profiles (heap,
-// goroutine, CPU profile, execution trace, …) under /debug/pprof/.
-func Serve(addr string, reg *Registry) (*DebugServer, error) {
+// Serve starts a debug server on addr in a background goroutine. run may
+// be nil (the /progress and /events endpoints then report 404); when it
+// carries a Journal, /events streams it live.
+func Serve(addr string, reg *Registry, run *Run) (*DebugServer, error) {
+	ds := &DebugServer{done: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := reg.WriteJSON(w); err != nil {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var err error
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			err = reg.WriteProm(w)
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+			err = reg.WriteJSON(w)
+		}
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		if run == nil {
+			http.Error(w, "no instrumented run", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(run.Progress())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		var j *Journal
+		if run != nil {
+			j = run.Journal
+		}
+		if j == nil {
+			http.Error(w, "no event journal", http.StatusNotFound)
+			return
+		}
+		ds.serveSSE(w, r, j)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -41,19 +80,80 @@ func Serve(addr string, reg *Registry) (*DebugServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	ds := &DebugServer{
-		Addr: lis.Addr().String(),
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-		lis:  lis,
-	}
+	ds.Addr = lis.Addr().String()
+	ds.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ds.lis = lis
 	go func() { _ = ds.srv.Serve(lis) }()
 	return ds, nil
 }
 
-// Close stops the server.
+// serveSSE streams the journal to one subscriber: the backlog first, then
+// live events, as `id: <seq>` + `data: <event JSON>` frames. Returns when
+// the client disconnects, the journal closes, or the server shuts down.
+func (s *DebugServer) serveSSE(w http.ResponseWriter, r *http.Request, j *Journal) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	sub, backlog := j.Subscribe(256)
+	defer j.Unsubscribe(sub)
+
+	write := func(e Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.Seq, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for _, e := range backlog {
+		if !write(e) {
+			return
+		}
+	}
+	for {
+		select {
+		case e, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			if !write(e) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Close shuts the server down gracefully: it stops accepting new
+// connections, signals streaming handlers to finish, and waits up to 5
+// seconds for in-flight requests to drain before forcing connections
+// closed. Safe to call more than once and on a nil server.
 func (s *DebugServer) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err = s.srv.Shutdown(ctx)
+		if err != nil {
+			err = s.srv.Close()
+		}
+	})
+	return err
 }

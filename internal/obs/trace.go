@@ -25,13 +25,13 @@ type Tracer struct {
 	nextID atomic.Int64
 
 	mu        sync.Mutex
-	events    []Event
+	events    []SpanEvent
 	freeLanes []int64
 	nextLane  int64
 }
 
-// Event is one completed span.
-type Event struct {
+// SpanEvent is one completed span.
+type SpanEvent struct {
 	Name   string
 	ID     int64
 	Parent int64 // 0 = root
@@ -100,7 +100,7 @@ func (s Span) Mark(name string, start time.Time, d time.Duration) {
 	if s.tr == nil {
 		return
 	}
-	s.tr.record(Event{Name: name, ID: s.tr.nextID.Add(1), Parent: s.id,
+	s.tr.record(SpanEvent{Name: name, ID: s.tr.nextID.Add(1), Parent: s.id,
 		Lane: s.lane, Start: start.Sub(s.tr.start), Dur: d})
 }
 
@@ -110,7 +110,7 @@ func (s Span) End() {
 	if s.tr == nil {
 		return
 	}
-	s.tr.record(Event{Name: s.name, ID: s.id, Parent: s.parent, Lane: s.lane,
+	s.tr.record(SpanEvent{Name: s.name, ID: s.id, Parent: s.parent, Lane: s.lane,
 		Start: s.start, Dur: time.Since(s.tr.start) - s.start})
 	if s.owns {
 		s.tr.releaseLane(s.lane)
@@ -135,20 +135,20 @@ func (t *Tracer) releaseLane(l int64) {
 	t.mu.Unlock()
 }
 
-func (t *Tracer) record(e Event) {
+func (t *Tracer) record(e SpanEvent) {
 	t.mu.Lock()
 	t.events = append(t.events, e)
 	t.mu.Unlock()
 }
 
 // Events returns a copy of the recorded events.
-func (t *Tracer) Events() []Event {
+func (t *Tracer) Events() []SpanEvent {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]Event, len(t.events))
+	out := make([]SpanEvent, len(t.events))
 	copy(out, t.events)
 	return out
 }

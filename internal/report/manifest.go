@@ -21,10 +21,39 @@ func ManifestTables(m *obs.Manifest) []Table {
 		manifestCacheTable(m),
 		manifestPlannerTable(m),
 	}
+	if len(m.Histograms) > 0 {
+		tables = append(tables, manifestHistogramTable(m))
+	}
 	if m.Adaptive != nil {
 		tables = append(tables, manifestAdaptiveTable(m))
 	}
 	return append(tables, manifestDetectionTable(m))
+}
+
+// manifestHistogramTable renders the per-histogram latency quantiles the
+// manifest carries (estimated from bucket counts by linear interpolation).
+func manifestHistogramTable(m *obs.Manifest) Table {
+	t := Table{
+		Title:  "Latency histograms",
+		Header: []string{"histogram", "count", "sum s", "p50 s", "p90 s", "p99 s"},
+	}
+	names := make([]string, 0, len(m.Histograms))
+	for name := range m.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := m.Histograms[name]
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", h.Count),
+			fmt.Sprintf("%.4f", h.Sum),
+			fmt.Sprintf("%.6f", h.P50),
+			fmt.Sprintf("%.6f", h.P90),
+			fmt.Sprintf("%.6f", h.P99),
+		})
+	}
+	return t
 }
 
 // manifestAdaptiveTable summarizes the adaptive planner's budget spend

@@ -19,6 +19,16 @@ func fixedManifest() *obs.Manifest {
 		Schema:      obs.ManifestSchema,
 		CreatedUnix: 1700000000,
 		Config:      map[string]any{"f1_hz": 250000.0},
+		Build:       obs.BuildInfo{Version: "test", GoVersion: "go1.24.0", OS: "linux", Arch: "amd64"},
+		Events:      &obs.EventStats{Emitted: 42},
+		Histograms: map[string]obs.HistogramSnapshot{
+			"fase_specan_render_seconds": {
+				Count: 20, Sum: 0.035,
+				Bounds: []float64{1e-3, 2e-3, 4e-3},
+				Counts: []int64{10, 8, 2, 0},
+				P50:    1e-3, P90: 2.5e-3, P99: 3.85e-3,
+			},
+		},
 		Stages: []obs.StageTiming{
 			{Name: "sweeps", WallSeconds: 0.0400, CPUSeconds: 0.1200},
 			{Name: "smooth", WallSeconds: 0.0010, CPUSeconds: 0.0010},
@@ -138,8 +148,8 @@ func TestManifestRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("tables differ after round trip:\ngot  %+v\nwant %+v", got, want)
 	}
-	if len(got) != 4 {
-		t.Fatalf("expected 4 tables, got %d", len(got))
+	if len(got) != 5 {
+		t.Fatalf("expected 5 tables (histograms included), got %d", len(got))
 	}
 }
 
@@ -187,7 +197,7 @@ func TestManifestRoundTripAdaptive(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("tables differ after round trip:\ngot  %+v\nwant %+v", got, want)
 	}
-	if len(got) != 5 {
-		t.Fatalf("expected 5 tables (adaptive plan included), got %d", len(got))
+	if len(got) != 6 {
+		t.Fatalf("expected 6 tables (histograms and adaptive plan included), got %d", len(got))
 	}
 }

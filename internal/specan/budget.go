@@ -24,6 +24,12 @@ type Meter struct {
 	cap      int64
 	reserved atomic.Int64
 	rendered atomic.Int64
+	// OnReserve, when non-nil, observes every Reserve outcome (requested
+	// captures, granted or refused). The planner's reservations are
+	// sequential, so the hook sees a deterministic call sequence; it may
+	// read the meter's accessors but must not call Reserve. Set it before
+	// the meter is shared.
+	OnReserve func(n int64, granted bool)
 }
 
 // NewMeter creates a meter with the given capture capacity. It panics on
@@ -52,6 +58,14 @@ func (m *Meter) Reserve(n int64) bool {
 	if m == nil || n <= 0 {
 		return m == nil || n == 0
 	}
+	granted := m.reserve(n)
+	if m.OnReserve != nil {
+		m.OnReserve(n, granted)
+	}
+	return granted
+}
+
+func (m *Meter) reserve(n int64) bool {
 	for {
 		cur := m.reserved.Load()
 		if cur+n > m.cap {

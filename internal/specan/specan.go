@@ -376,6 +376,13 @@ type Request struct {
 	// NearFieldGainDB is the probe gain (e.g. 30 dB); only meaningful
 	// with NearField.
 	NearFieldGainDB float64
+	// Events, when non-nil, receives the sweep's journal events
+	// (sweep_start, strided sweep_progress, sweep_end) on the caller's
+	// track. They are emitted from the sweep's coordinating goroutine —
+	// progress follows the deterministic reduce order, not render
+	// completion — so per-track event order is reproducible at any
+	// Parallelism. Nil (the default) keeps the sweep journal-free.
+	Events *obs.JournalTrack
 }
 
 // segGeom returns the bin range and center frequency of segment s.
@@ -445,6 +452,7 @@ func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.
 	if run != nil {
 		t2 = time.Now()
 		run.Captures.Inc()
+		run.AddSimSeconds(a.CaptureDuration())
 		run.RenderSeconds.Add(t1.Sub(t0).Seconds())
 		run.FFTSeconds.Add(t2.Sub(t1).Seconds())
 		renderSeconds.Observe(t1.Sub(t0).Seconds())
@@ -490,6 +498,8 @@ func (a *Analyzer) Sweep(req Request) *spectral.Spectrum {
 func (a *Analyzer) sweep(req Request, sw obs.Span) *spectral.Spectrum {
 	p := a.planSweep(req.F1, req.F2)
 	nCaps := p.segs * a.cfg.Averages
+	req.Events.Emit(obs.Event{Kind: obs.EventSweepStart,
+		F1Hz: req.F1, F2Hz: req.F2, Total: int64(nCaps)})
 	specs := make([]spectral.Spectrum, nCaps)
 	for i := range specs {
 		specs[i].PmW = a.arena.Float(p.nfft)
@@ -514,7 +524,13 @@ func (a *Analyzer) sweep(req Request, sw obs.Span) *spectral.Spectrum {
 		wg.Wait()
 	}
 	// Deterministic reduction: segment by segment, traces in capture
-	// order, exactly as the serial sweep accumulated them.
+	// order, exactly as the serial sweep accumulated them. Progress
+	// events stride this loop (not render completion), so the journal
+	// sees the same positions at any Parallelism.
+	stride := p.segs / 8
+	if stride < 1 {
+		stride = 1
+	}
 	parts := make([]*spectral.Spectrum, 0, p.segs)
 	for s := 0; s < p.segs; s++ {
 		fStart, _, bins := a.segGeom(p, req.F1, s)
@@ -526,6 +542,13 @@ func (a *Analyzer) sweep(req Request, sw obs.Span) *spectral.Spectrum {
 			sp.PmW = nil
 		}
 		parts = append(parts, avg.Mean().Slice(fStart, fStart+float64(bins)*a.cfg.Fres))
+		if req.Events != nil && (s+1)%stride == 0 && s+1 < p.segs {
+			req.Events.Emit(obs.Event{Kind: obs.EventSweepProgress,
+				Captures: int64((s + 1) * a.cfg.Averages), Total: int64(nCaps)})
+		}
 	}
+	req.Events.Emit(obs.Event{Kind: obs.EventSweepEnd,
+		Captures: int64(nCaps), Total: int64(nCaps)})
+	a.cfg.Obs.AddSweepDone()
 	return spectral.Stitch(parts)
 }
