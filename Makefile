@@ -1,13 +1,16 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet lint build test race shuffle bench-smoke equivalence fuzz-smoke bench-regress obs-smoke accuracy cover profile
+.PHONY: ci fmt-check vet lint build test race shuffle bench-smoke equivalence fuzz-smoke bench-regress obs-smoke service-load accuracy cover profile
 
 # ci is the full gate: formatting, vet + lint, build, tests (with the race
-# detector, then again in shuffled order), the planner equivalence suite, a
-# short fuzz of the band/extent overlap logic, a benchmark smoke run, the
-# sweep and campaign regression gates, the observability smoke test, the
-# ground-truth accuracy gate, and the detection-core coverage floor.
-ci: fmt-check vet lint build race shuffle equivalence fuzz-smoke bench-smoke bench-regress obs-smoke accuracy cover
+# detector, then again in shuffled order — the race pass includes the
+# campaign-service concurrency hammer and its goroutine-leak check), the
+# planner equivalence suite, a short fuzz of the band/extent overlap logic
+# and the service submit endpoint, a benchmark smoke run, the sweep and
+# campaign regression gates, the observability smoke test, the service
+# load-test regression gate, the ground-truth accuracy gate, and the
+# detection-core coverage floor.
+ci: fmt-check vet lint build race shuffle equivalence fuzz-smoke bench-smoke bench-regress obs-smoke service-load accuracy cover
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -53,14 +56,17 @@ equivalence:
 
 # fuzz-smoke briefly fuzzes the Band/extent overlap invariants the render
 # planner's culling correctness rests on, the campaign config validator,
-# the manifest table renderer (NaN/Inf/negative-frequency inputs), and the
-# real-input FFT against the complex reference transform.
+# the manifest table renderer (NaN/Inf/negative-frequency inputs), the
+# real-input FFT against the complex reference transform, and the campaign
+# service's submit endpoint (arbitrary request bodies must answer 400 and
+# never panic the server).
 fuzz-smoke:
 	$(GO) test -run FuzzExtent -fuzz FuzzExtent -fuzztime 5s ./internal/emsim
 	$(GO) test -run xxx -fuzz FuzzCampaignValidate -fuzztime 5s ./internal/core
 	$(GO) test -run xxx -fuzz FuzzAdaptivePlan -fuzztime 5s ./internal/core
 	$(GO) test -run xxx -fuzz FuzzManifestTables -fuzztime 5s ./internal/report
 	$(GO) test -run xxx -fuzz FuzzRFFT -fuzztime 5s ./internal/dsp/fft
+	$(GO) test -run xxx -fuzz FuzzSubmitScan -fuzztime 5s ./internal/service
 
 # bench-smoke runs the pipeline micro-benchmarks once each — enough to
 # catch a benchmark that no longer compiles or panics, without the cost of
@@ -153,6 +159,48 @@ profile:
 	$(GO) tool pprof -top -sample_index=alloc_space -nodecount 25 profiles/fase.test profiles/campaign_mem.pprof > profiles/campaign_mem.txt || exit 1; \
 	echo "profile: wrote profiles/campaign_{cpu,mem}.pprof and -top summaries"
 
+# service-load is the campaign-service regression gate: it runs the full
+# load test (10 tenants × 6 concurrent campaigns against a deliberately
+# saturated queue) into a temp file and compares it against the committed
+# BENCH_service.json. The job accounting is deterministic — jobs_total,
+# jobs_completed, shards_total (5 per job), and detections_total (seeded
+# campaigns are bit-identical) must match the baseline exactly — while
+# the measured performance gets wide tolerances suited to a saturation
+# test on shared hardware: p99 submit-to-complete latency may grow to 4×
+# the baseline and throughput may drop to 1/4 before the gate fails.
+# Refresh the baseline deliberately with:
+# FASE_BENCH_SERVICE_OUT=$$PWD/BENCH_service.json go test -run TestServiceLoad -count=1 ./internal/service/loadtest
+service-load:
+	@freshs=$$(mktemp); \
+	FASE_BENCH_SERVICE_OUT=$$freshs \
+		$(GO) test -run TestServiceLoad -count=1 ./internal/service/loadtest >/dev/null || { rm -f $$freshs; exit 1; }; \
+	fail=0; \
+	for key in service_jobs_total service_jobs_completed service_shards_total service_detections_total; do \
+		base=$$(sed -n "s/.*\"$$key\": \([0-9]*\).*/\1/p" BENCH_service.json); \
+		now=$$(sed -n "s/.*\"$$key\": \([0-9]*\).*/\1/p" $$freshs); \
+		if [ -z "$$base" ] || [ -z "$$now" ]; then echo "service-load: missing $$key"; rm -f $$freshs; exit 1; fi; \
+		echo "service-load: $$key $$base -> $$now (must match exactly)"; \
+		if [ "$$now" != "$$base" ]; then \
+			echo "service-load: FAIL $$key changed $$base -> $$now (update BENCH_service.json deliberately)"; fail=1; \
+		fi; \
+	done; \
+	p99base=$$(sed -n 's/.*"service_p99_us": \([0-9]*\).*/\1/p' BENCH_service.json); \
+	p99now=$$(sed -n 's/.*"service_p99_us": \([0-9]*\).*/\1/p' $$freshs); \
+	tbase=$$(sed -n 's/.*"service_throughput_millijobs_per_sec": \([0-9]*\).*/\1/p' BENCH_service.json); \
+	tnow=$$(sed -n 's/.*"service_throughput_millijobs_per_sec": \([0-9]*\).*/\1/p' $$freshs); \
+	if [ -z "$$p99base" ] || [ -z "$$p99now" ]; then echo "service-load: missing p99"; rm -f $$freshs; exit 1; fi; \
+	if [ -z "$$tbase" ] || [ -z "$$tnow" ]; then echo "service-load: missing throughput"; rm -f $$freshs; exit 1; fi; \
+	echo "service-load: p99 $$p99base -> $$p99now us (limit 4x baseline)"; \
+	echo "service-load: throughput $$tbase -> $$tnow millijobs/s (floor baseline/4)"; \
+	if [ "$$p99now" -gt "$$((p99base * 4))" ]; then \
+		echo "service-load: FAIL p99 latency $$p99base -> $$p99now us, over the 4x gate"; fail=1; \
+	fi; \
+	if [ "$$tnow" -lt "$$((tbase / 4))" ]; then \
+		echo "service-load: FAIL throughput $$tbase -> $$tnow millijobs/s, under the 1/4 gate"; fail=1; \
+	fi; \
+	rm -f $$freshs; \
+	exit $$fail
+
 # accuracy runs the ground-truth harness (fase -verify): a 60-scenario
 # seeded-random machine corpus scanned by the unchanged pipeline, clean,
 # through the default fault-injection plan, and re-run with the adaptive
@@ -195,9 +243,12 @@ cover:
 # obs-smoke runs a tiny instrumented campaign through the CLI with every
 # observability output enabled, then validates the run manifest and event
 # journal against their schemas, sanity-checks the trace and metrics
-# files, archives two runs into a run-history store and diffs them, and
+# files, archives two runs into a run-history store and diffs them,
 # exercises the live debug server end-to-end (/progress, Prometheus
-# /metrics, and the /events SSE stream) against a lingering scan.
+# /metrics, and the /events SSE stream) against a lingering scan, and
+# drives `fase serve` end to end: submit a scan over HTTP, poll it to
+# completion, fetch the archived result, confirm the run landed in the
+# store at its content address, and shut the server down with SIGTERM.
 obs-smoke:
 	@tmp=$$(mktemp -d); \
 	$(GO) build -o $$tmp/fase ./cmd/fase || exit 1; \
@@ -233,5 +284,27 @@ obs-smoke:
 	curl -sf "http://$$addr/metrics?format=prom" | grep -q '^fase_core_campaigns_total' || { echo "obs-smoke: prometheus exposition malformed"; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
 	curl -sN --max-time 3 "http://$$addr/events" | grep -q 'campaign_start' || { echo "obs-smoke: /events SSE stream malformed"; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	$$tmp/fase serve -addr 127.0.0.1:0 -runs-dir $$tmp/srvruns > $$tmp/serve.log 2>&1 & spid=$$!; \
+	saddr=""; i=0; while [ $$i -lt 100 ]; do \
+		saddr=$$(sed -n 's|^serve: listening on http://\(.*\)|\1|p' $$tmp/serve.log); \
+		[ -n "$$saddr" ] && break; i=$$((i+1)); sleep 0.1; \
+	done; \
+	[ -n "$$saddr" ] || { echo "obs-smoke: campaign server never came up"; kill $$spid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	sid=$$(curl -sf -X POST "http://$$saddr/v1/scans" -d '{"tenant":"smoke","system":"i7-desktop","scan":{"f1_hz":300e3,"f2_hz":360e3,"fres_hz":500,"falt1_hz":43.3e3,"fdelta_hz":500,"seed":4}}' \
+		| sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	[ -n "$$sid" ] || { echo "obs-smoke: serve submit failed"; kill $$spid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	state=""; i=0; while [ $$i -lt 100 ]; do \
+		state=$$(curl -sf "http://$$saddr/v1/scans/$$sid" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p'); \
+		[ "$$state" = "done" ] && break; \
+		case "$$state" in failed|cancelled) break;; esac; \
+		i=$$((i+1)); sleep 0.1; \
+	done; \
+	[ "$$state" = "done" ] || { echo "obs-smoke: serve scan ended '$$state'"; kill $$spid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	curl -sf "http://$$saddr/v1/scans/$$sid/result" | grep -q '"schema"' || { echo "obs-smoke: serve result malformed"; kill $$spid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	curl -sf "http://$$saddr/v1/stats" | grep -q '"completed_total": 1' || { echo "obs-smoke: serve stats malformed"; kill $$spid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	ls $$tmp/srvruns/*.json >/dev/null 2>&1 || { echo "obs-smoke: serve archived no run"; kill $$spid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	kill -TERM $$spid 2>/dev/null; wait $$spid; srv=$$?; \
+	[ "$$srv" -eq 0 ] || { echo "obs-smoke: serve exited $$srv on SIGTERM"; rm -rf $$tmp; exit 1; }; \
+	grep -q 'serve: done' $$tmp/serve.log || { echo "obs-smoke: serve shutdown summary missing"; rm -rf $$tmp; exit 1; }; \
 	rm -rf $$tmp; \
 	echo "obs-smoke: ok"

@@ -20,6 +20,7 @@
 //	fase -validate-events events.jsonl
 //	fase runs -dir runs/
 //	fase diff -dir runs/ @1 @0
+//	fase serve -addr 127.0.0.1:8631 -runs-dir runs/
 //	fase -verify -verify-baseline VERIFY_baseline.json
 //	fase -verify -verify-scenarios 10 -verify-out report.json -verify-roc-csv roc.csv
 //	fase -verify -verify-budget -verify-out report.json
@@ -51,6 +52,8 @@ func run() int {
 			return runRuns(os.Args[2:])
 		case "diff":
 			return runDiff(os.Args[2:])
+		case "serve":
+			return runServe(os.Args[2:])
 		}
 	}
 	sysName := flag.String("system", "i7-desktop", "system model to measure (see -list)")

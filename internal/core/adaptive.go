@@ -462,6 +462,7 @@ func reconCandidates(scores map[int][]float64, elevated map[int][]int, hs []int,
 // full-resolution windows, with bins mapped onto the recon grid.
 func (r *Runner) runAdaptive(c Campaign) (*Result, error) {
 	ap := *c.Adaptive
+	campaignsTotal.Inc()
 	adaptiveCampaignsTotal.Inc()
 	run := r.Obs
 	var camp obs.Span

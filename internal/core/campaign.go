@@ -7,7 +7,6 @@ import (
 	"sync"
 
 	"fase/internal/activity"
-	"fase/internal/dsp/bufpool"
 	"fase/internal/dsp/peaks"
 	"fase/internal/dsp/spectral"
 	"fase/internal/emsim"
@@ -365,26 +364,22 @@ func (r *Runner) RunE(c Campaign) (*Result, error) {
 		return nil, fmt.Errorf("core: Runner needs a Scene")
 	}
 	c = c.withDefaults()
-	campaignsTotal.Inc()
 	if c.Adaptive != nil {
 		return r.runAdaptive(c)
 	}
+	// The exhaustive path runs through the shard API (shard.go): the
+	// ladder decomposes into per-sweep shards that render concurrently on
+	// one shared analyzer here, and on a distributed worker fleet in
+	// internal/service — the two paths execute the same code, so they are
+	// bit-identical by construction.
+	p := &ShardPlan{Campaign: c, FAlts: c.FAlts()}
 	run := r.Obs
 	var camp obs.Span
 	if run != nil {
 		camp = run.Tracer.Begin("campaign")
 	}
-	an := specan.New(specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism,
-		MaxFFT: c.MaxFFT,
-		NoPlan: c.NoPlan, ReuseStatic: !c.NoReuse, NoSegment: c.NoSegment,
-		Faults: c.Faults, Obs: run})
-	res := &Result{Campaign: c}
-	falts := c.FAlts()
-	res.SimulatedSeconds = float64(len(falts)) * an.TotalDuration(c.F1, c.F2)
-	res.Captures = int64(len(falts)) * an.SweepCaptures(c.F1, c.F2)
-	run.SetTotals(res.Captures, int64(len(falts)), res.SimulatedSeconds)
-	run.Track(0).Emit(obs.Event{Kind: obs.EventCampaignStart, Name: "exhaustive",
-		F1Hz: c.F1, F2Hz: c.F2, Total: res.Captures})
+	an := specan.New(p.AnalyzerConfig(run))
+	p.Begin(an, run)
 	// The per-f_alt measurements are independent observations of the same
 	// noise realization: every sweep uses the campaign seed, so they share
 	// measurement noise and differ only in their activity trace. Shared
@@ -392,80 +387,21 @@ func (r *Runner) RunE(c Campaign) (*Result, error) {
 	// is what lets the static render cache serve all NumAlts sweeps from
 	// one build. The sweeps run concurrently; results are written by
 	// index, keeping the output identical to a sequential run.
-	res.Measurements = make([]Measurement, len(falts))
+	ms := make([]Measurement, len(p.FAlts))
 	endSweeps := run.Stage("sweeps")
 	sweepsSpan := camp.Child("sweeps")
 	var wg sync.WaitGroup
-	for i, fa := range falts {
+	for i := range p.FAlts {
 		wg.Add(1)
-		go func(i int, fa float64) {
+		go func(i int) {
 			defer wg.Done()
-			// Under fault injection the micro-benchmark's clock may drift:
-			// the generated alternation runs at fa·(1+ε) while scoring
-			// still probes the nominal ladder.
-			faGen := fa * (1 + c.Faults.DriftFor(c.Seed+int64(i)*104729))
-			tr := microbench.Generate(microbench.Config{
-				X: c.X, Y: c.Y, FAlt: faGen, Jitter: *c.Jitter,
-				Seed: c.Seed + int64(i)*104729,
-			}, an.TotalDuration(c.F1, c.F2)+0.05)
-			// Journal track 1+i belongs to this ladder index: events within
-			// it are sequential, so the canonical journal is identical at
-			// any Parallelism.
-			jt := run.Track(1 + int64(i))
-			jt.Emit(obs.Event{Kind: obs.EventSweepPlan, FAltHz: fa, F1Hz: c.F1, F2Hz: c.F2})
-			sp := an.Sweep(specan.Request{
-				Scene: r.Scene, F1: c.F1, F2: c.F2, Activity: tr,
-				Seed:      c.Seed,
-				NearField: r.NearField, NearFieldGainDB: r.NearFieldGainDB,
-				Span:   sweepsSpan,
-				Events: jt,
-			})
-			res.Measurements[i] = Measurement{FAlt: fa, Spectrum: sp}
-		}(i, fa)
+			ms[i] = r.RenderShard(nil, an, p, i, run, sweepsSpan)
+		}(i)
 	}
 	wg.Wait()
 	sweepsSpan.End()
 	endSweeps()
-	endSmooth := run.Stage("smooth")
-	smoothSpan := camp.Child("smooth")
-	spectra := make([]*spectral.Spectrum, len(res.Measurements))
-	smoothed := make([]*spectral.Spectrum, len(res.Measurements))
-	for i, m := range res.Measurements {
-		spectra[i] = m.Spectrum
-		// Smoothed spectra are scoring scratch, released after detection;
-		// their bin buffers come from the shared pool.
-		smoothed[i] = &spectral.Spectrum{PmW: bufpool.Float(m.Spectrum.Bins())}
-		SmoothSpectrumInto(smoothed[i], m.Spectrum, c.SmoothBins)
-	}
-	smoothSpan.End()
-	endSmooth()
-	endScore := run.Stage("score")
-	scoreSpan := camp.Child("score")
-	res.Scores = make(map[int][]float64, len(c.Harmonics))
-	res.Elevated = make(map[int][]int, len(c.Harmonics))
-	for _, h := range c.Harmonics {
-		res.Scores[h], res.Elevated[h] = ScoreDetail(smoothed, falts, h, 2)
-	}
-	scoreSpan.End()
-	endScore()
-	endDetect := run.Stage("detect")
-	detectSpan := camp.Child("detect")
-	res.Detections = detect(res, spectra, smoothed, falts)
-	detectSpan.End()
-	endDetect()
-	for _, sp := range smoothed {
-		bufpool.PutFloat(sp.PmW)
-		sp.PmW = nil
-	}
-	detectionsTotal.Add(int64(len(res.Detections)))
-	emitDetections(run, res, c)
-	run.Track(0).Emit(obs.Event{Kind: obs.EventCampaignEnd,
-		Captures: res.Captures, Detections: len(res.Detections)})
-	camp.End()
-	if run != nil {
-		run.Finish(manifestConfig(c), res.SimulatedSeconds, provenance(res, c))
-	}
-	return res, nil
+	return r.ReduceShards(p, ms, run, camp)
 }
 
 // emitDetections journals the campaign's merged detections on the

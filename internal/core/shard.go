@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"fase/internal/dsp/bufpool"
+	"fase/internal/dsp/spectral"
+	"fase/internal/microbench"
+	"fase/internal/obs"
+	"fase/internal/specan"
+)
+
+// ShardPlan is an exhaustive campaign decomposed into its natural unit of
+// distribution: one shard per ladder sweep. FASE's bit-identical
+// seeded-capture design means every shard derives its child seed from the
+// campaign seed and its ladder index alone, so shards can render on any
+// worker — in any interleaving, on any analyzer — and reducing them in
+// fixed ladder order reproduces the single-process result byte for byte.
+// Runner.RunE and the campaign service (internal/service) both execute
+// through this API, which is what makes the service's sharded path
+// bit-identical to the serial one by construction rather than by test.
+type ShardPlan struct {
+	// Campaign is the defaults-resolved configuration (withDefaults
+	// applied); manifestConfig over it matches what RunE would record.
+	Campaign Campaign
+	// FAlts is the alternation-frequency ladder; shard i renders FAlts[i].
+	FAlts []float64
+	// Captures and SimulatedSeconds are the campaign totals, filled in by
+	// Begin once an analyzer exists to price the sweeps.
+	Captures         int64
+	SimulatedSeconds float64
+}
+
+// PlanShards validates the campaign and decomposes it into ladder-sweep
+// shards. Adaptive campaigns are rejected: their capture schedule is
+// decided at run time by the budget planner, so they have no static shard
+// decomposition (the service runs them as a single unsharded task).
+func PlanShards(c Campaign) (*ShardPlan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Adaptive != nil {
+		return nil, fmt.Errorf("core: adaptive campaigns cannot be sharded (capture schedule is decided at run time)")
+	}
+	c = c.withDefaults()
+	return &ShardPlan{Campaign: c, FAlts: c.FAlts()}, nil
+}
+
+// AnalyzerConfig is the specan configuration RunE would build for this
+// campaign. Callers running shards on separate analyzers (one per worker)
+// should override Parallelism to 1 and share a specan.StaticCache via
+// Config.Statics so the fleet, not each analyzer, bounds concurrency
+// while cross-sweep static-layer reuse still works.
+func (p *ShardPlan) AnalyzerConfig(run *obs.Run) specan.Config {
+	c := p.Campaign
+	return specan.Config{Fres: c.Fres, Averages: c.Averages, Parallelism: c.Parallelism,
+		MaxFFT: c.MaxFFT,
+		NoPlan: c.NoPlan, ReuseStatic: !c.NoReuse, NoSegment: c.NoSegment,
+		Faults: c.Faults, Obs: run}
+}
+
+// Begin prices the campaign against an analyzer (any analyzer built from
+// AnalyzerConfig — capture counts depend only on the configuration),
+// records the totals on the run, and emits the campaign_start event.
+// It also counts the campaign: Begin is called exactly once per
+// exhaustive campaign, whichever path executes it.
+func (p *ShardPlan) Begin(an *specan.Analyzer, run *obs.Run) {
+	c := p.Campaign
+	p.Captures = int64(len(p.FAlts)) * an.SweepCaptures(c.F1, c.F2)
+	p.SimulatedSeconds = float64(len(p.FAlts)) * an.TotalDuration(c.F1, c.F2)
+	campaignsTotal.Inc()
+	run.SetTotals(p.Captures, int64(len(p.FAlts)), p.SimulatedSeconds)
+	run.Track(0).Emit(obs.Event{Kind: obs.EventCampaignStart, Name: "exhaustive",
+		F1Hz: c.F1, F2Hz: c.F2, Total: p.Captures})
+}
+
+// RenderShard renders ladder sweep i on the given analyzer and returns
+// its measurement. The shard's micro-benchmark seed is derived exactly as
+// the serial path derives it — c.Seed + i·104729 — and its journal events
+// land on track 1+i, so the canonical journal is identical however shards
+// are scheduled. ctx, when non-nil, cooperatively cancels the shard
+// mid-render (see specan.Request.Ctx); a cancelled shard's measurement is
+// partial garbage and must be discarded, never reduced.
+func (r *Runner) RenderShard(ctx context.Context, an *specan.Analyzer, p *ShardPlan, i int, run *obs.Run, parent obs.Span) Measurement {
+	c := p.Campaign
+	fa := p.FAlts[i]
+	// Under fault injection the micro-benchmark's clock may drift: the
+	// generated alternation runs at fa·(1+ε) while scoring still probes
+	// the nominal ladder.
+	faGen := fa * (1 + c.Faults.DriftFor(c.Seed+int64(i)*104729))
+	tr := microbench.Generate(microbench.Config{
+		X: c.X, Y: c.Y, FAlt: faGen, Jitter: *c.Jitter,
+		Seed: c.Seed + int64(i)*104729,
+	}, an.TotalDuration(c.F1, c.F2)+0.05)
+	// Journal track 1+i belongs to this ladder index: events within it
+	// are sequential, so the canonical journal is identical at any
+	// parallelism and any shard placement.
+	jt := run.Track(1 + int64(i))
+	jt.Emit(obs.Event{Kind: obs.EventSweepPlan, FAltHz: fa, F1Hz: c.F1, F2Hz: c.F2})
+	sp := an.Sweep(specan.Request{
+		Scene: r.Scene, F1: c.F1, F2: c.F2, Activity: tr,
+		Seed:      c.Seed,
+		NearField: r.NearField, NearFieldGainDB: r.NearFieldGainDB,
+		Span:   parent,
+		Events: jt,
+		Ctx:    ctx,
+	})
+	return Measurement{FAlt: fa, Spectrum: sp}
+}
+
+// ReduceShards merges the campaign's shard measurements — which must be
+// ordered by ladder index, ms[i] from RenderShard(i) — through the
+// smooth/score/detect stages and finalizes the run manifest. The reduce
+// is pure fixed-order computation over the spectra, so where the shards
+// rendered is invisible to it.
+func (r *Runner) ReduceShards(p *ShardPlan, ms []Measurement, run *obs.Run, camp obs.Span) (*Result, error) {
+	c := p.Campaign
+	if len(ms) != len(p.FAlts) {
+		return nil, fmt.Errorf("core: ReduceShards got %d measurements for %d shards", len(ms), len(p.FAlts))
+	}
+	res := &Result{Campaign: c, Measurements: ms,
+		SimulatedSeconds: p.SimulatedSeconds, Captures: p.Captures}
+	falts := p.FAlts
+	endSmooth := run.Stage("smooth")
+	smoothSpan := camp.Child("smooth")
+	spectra := make([]*spectral.Spectrum, len(res.Measurements))
+	smoothed := make([]*spectral.Spectrum, len(res.Measurements))
+	for i, m := range res.Measurements {
+		spectra[i] = m.Spectrum
+		// Smoothed spectra are scoring scratch, released after detection;
+		// their bin buffers come from the shared pool.
+		smoothed[i] = &spectral.Spectrum{PmW: bufpool.Float(m.Spectrum.Bins())}
+		SmoothSpectrumInto(smoothed[i], m.Spectrum, c.SmoothBins)
+	}
+	smoothSpan.End()
+	endSmooth()
+	endScore := run.Stage("score")
+	scoreSpan := camp.Child("score")
+	res.Scores = make(map[int][]float64, len(c.Harmonics))
+	res.Elevated = make(map[int][]int, len(c.Harmonics))
+	for _, h := range c.Harmonics {
+		res.Scores[h], res.Elevated[h] = ScoreDetail(smoothed, falts, h, 2)
+	}
+	scoreSpan.End()
+	endScore()
+	endDetect := run.Stage("detect")
+	detectSpan := camp.Child("detect")
+	res.Detections = detect(res, spectra, smoothed, falts)
+	detectSpan.End()
+	endDetect()
+	for _, sp := range smoothed {
+		bufpool.PutFloat(sp.PmW)
+		sp.PmW = nil
+	}
+	detectionsTotal.Add(int64(len(res.Detections)))
+	emitDetections(run, res, c)
+	run.Track(0).Emit(obs.Event{Kind: obs.EventCampaignEnd,
+		Captures: res.Captures, Detections: len(res.Detections)})
+	camp.End()
+	if run != nil {
+		run.Finish(manifestConfig(c), res.SimulatedSeconds, provenance(res, c))
+	}
+	return res, nil
+}
+
+// ResolvedConfig validates the campaign and returns its defaults-resolved
+// manifest configuration — the same record RunE stores in the run
+// manifest and runstore hashes for content addressing. Services use it to
+// compute a submission's identity before (and independent of) running it.
+func (c Campaign) ResolvedConfig() (any, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return manifestConfig(c.withDefaults()), nil
+}

@@ -71,7 +71,7 @@ func Serve(addr string, reg *Registry, run *Run) (*DebugServer, error) {
 			http.Error(w, "no event journal", http.StatusNotFound)
 			return
 		}
-		ds.serveSSE(w, r, j)
+		ServeSSE(w, r, j, ds.done)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -87,10 +87,13 @@ func Serve(addr string, reg *Registry, run *Run) (*DebugServer, error) {
 	return ds, nil
 }
 
-// serveSSE streams the journal to one subscriber: the backlog first, then
+// ServeSSE streams the journal to one subscriber: the backlog first, then
 // live events, as `id: <seq>` + `data: <event JSON>` frames. Returns when
-// the client disconnects, the journal closes, or the server shuts down.
-func (s *DebugServer) serveSSE(w http.ResponseWriter, r *http.Request, j *Journal) {
+// the client disconnects, the journal closes, or done closes (pass nil
+// for no external shutdown signal). DebugServer serves its /events
+// endpoint through this; the campaign service (internal/service) reuses
+// it for per-job event streams.
+func ServeSSE(w http.ResponseWriter, r *http.Request, j *Journal, done <-chan struct{}) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -131,7 +134,7 @@ func (s *DebugServer) serveSSE(w http.ResponseWriter, r *http.Request, j *Journa
 			}
 		case <-r.Context().Done():
 			return
-		case <-s.done:
+		case <-done:
 			return
 		}
 	}

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"container/heap"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// queue is the bounded priority admission queue. Ordering is
+// (priority desc, submission sequence asc): higher priorities dispatch
+// first and ties are FIFO, so equal-priority tenants drain in arrival
+// order. Admission is bounded twice — a global capacity on queued jobs
+// and a per-tenant quota on queued+running jobs. The quota is what makes
+// the queue starvation-free across tenants: no tenant can occupy more
+// than its quota of the service at once, so a flood from one tenant
+// bounces with 429 instead of burying everyone else's submissions.
+//
+// Quota accounting has single ownership: admit increments a tenant's
+// count, and exactly one release — at the job's terminal transition —
+// decrements it, whichever path (completion, failure, cancel-while-
+// queued, cancel-while-running, shutdown drain) got the job there.
+type queue struct {
+	mu       sync.Mutex
+	capacity int
+	quota    int // 0 = unlimited
+	items    jobHeap
+	tenants  map[string]int
+	maxDepth int
+	closed   bool
+
+	// signal wakes the dispatcher after an admit; capacity 1 so admits
+	// never block on a busy dispatcher.
+	signal chan struct{}
+}
+
+func newQueue(capacity, quota int) *queue {
+	return &queue{
+		capacity: capacity,
+		quota:    quota,
+		tenants:  make(map[string]int),
+		signal:   make(chan struct{}, 1),
+	}
+}
+
+// admit enqueues the job or rejects it with an *httpError carrying 429.
+// The tenant's quota slot is taken on success and held until release.
+func (q *queue) admit(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return &httpError{status: http.StatusServiceUnavailable, msg: "service: shutting down"}
+	}
+	if len(q.items) >= q.capacity {
+		return &httpError{status: http.StatusTooManyRequests,
+			msg: fmt.Sprintf("service: queue full (%d jobs)", q.capacity)}
+	}
+	if q.quota > 0 && q.tenants[j.Tenant] >= q.quota {
+		return &httpError{status: http.StatusTooManyRequests,
+			msg: fmt.Sprintf("service: tenant %q at quota (%d queued or running jobs)", j.Tenant, q.quota)}
+	}
+	q.tenants[j.Tenant]++
+	heap.Push(&q.items, j)
+	if len(q.items) > q.maxDepth {
+		q.maxDepth = len(q.items)
+	}
+	select {
+	case q.signal <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// pop removes and returns the highest-priority job, or nil when the
+// queue is empty. The popped job's tenant slot stays held (it is about
+// to run).
+func (q *queue) pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.items).(*Job)
+}
+
+// remove takes a still-queued job out of the queue, returning false if
+// the job was already popped (the dispatcher owns it then). Callers that
+// get true own the job's terminal transition.
+func (q *queue) remove(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j.heapIndex < 0 {
+		return false
+	}
+	heap.Remove(&q.items, j.heapIndex)
+	return true
+}
+
+// release returns a tenant's quota slot at a job's terminal transition.
+// Going negative means a double release — a bookkeeping bug worth
+// crashing loudly over (the race hammer runs under -race with this as
+// its tripwire).
+func (q *queue) release(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.tenants[tenant] - 1
+	switch {
+	case n < 0:
+		panic("service: tenant quota went negative for " + tenant)
+	case n == 0:
+		delete(q.tenants, tenant)
+	default:
+		q.tenants[tenant] = n
+	}
+}
+
+// close refuses all further admission and returns the jobs that were
+// still queued (removed from the heap) so shutdown can cancel them.
+func (q *queue) close() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	out := make([]*Job, 0, len(q.items))
+	for len(q.items) > 0 {
+		out = append(out, heap.Pop(&q.items).(*Job))
+	}
+	return out
+}
+
+// depth returns the current and high-water queue depths.
+func (q *queue) depth() (cur, max int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items), q.maxDepth
+}
+
+// tenantLoad returns a tenant's queued+running job count.
+func (q *queue) tenantLoad(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.tenants[tenant]
+}
+
+// jobHeap orders jobs by (priority desc, seq asc); heapIndex tracks each
+// job's slot so cancellation can remove from the middle.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].Priority != h[b].Priority {
+		return h[a].Priority > h[b].Priority
+	}
+	return h[a].seq < h[b].seq
+}
+
+func (h jobHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].heapIndex = a
+	h[b].heapIndex = b
+}
+
+func (h *jobHeap) Push(x any) {
+	j := x.(*Job)
+	j.heapIndex = len(*h)
+	*h = append(*h, j)
+}
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIndex = -1
+	*h = old[:n-1]
+	return j
+}

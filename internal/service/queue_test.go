@@ -1,0 +1,195 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func mkJob(tenant string, priority int, seq int64) *Job {
+	return &Job{ID: tenant, Tenant: tenant, Priority: priority, seq: seq, heapIndex: -1}
+}
+
+func TestQueuePriorityThenFIFO(t *testing.T) {
+	q := newQueue(16, 0)
+	// Admission order deliberately scrambles priorities; pop order must
+	// be priority-descending, FIFO within equal priority.
+	jobs := []*Job{
+		mkJob("a", 5, 1), mkJob("b", 9, 2), mkJob("c", 5, 3),
+		mkJob("d", 1, 4), mkJob("e", 9, 5), mkJob("f", 5, 6),
+	}
+	for _, j := range jobs {
+		if err := q.admit(j); err != nil {
+			t.Fatalf("admit %s: %v", j.ID, err)
+		}
+	}
+	want := []string{"b", "e", "a", "c", "f", "d"}
+	for i, id := range want {
+		j := q.pop()
+		if j == nil || j.ID != id {
+			t.Fatalf("pop %d: got %v, want %s", i, j, id)
+		}
+		if j.heapIndex != -1 {
+			t.Fatalf("popped job %s keeps heap index %d", j.ID, j.heapIndex)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("pop on empty queue returned a job")
+	}
+}
+
+func TestQueueCapacityRejects(t *testing.T) {
+	q := newQueue(2, 0)
+	if err := q.admit(mkJob("a", 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.admit(mkJob("b", 5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	err := q.admit(mkJob("c", 5, 3))
+	herr, ok := err.(*httpError)
+	if !ok || herr.status != http.StatusTooManyRequests {
+		t.Fatalf("admit over capacity: %v, want 429", err)
+	}
+	// Draining one admits again.
+	q.pop()
+	if err := q.admit(mkJob("c", 5, 4)); err != nil {
+		t.Fatalf("admit after drain: %v", err)
+	}
+}
+
+func TestQueueTenantQuota(t *testing.T) {
+	q := newQueue(16, 2)
+	if err := q.admit(mkJob("acme", 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.admit(mkJob("acme", 5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	err := q.admit(mkJob("acme", 9, 3))
+	herr, ok := err.(*httpError)
+	if !ok || herr.status != http.StatusTooManyRequests {
+		t.Fatalf("admit over quota: %v, want 429", err)
+	}
+	// Other tenants are unaffected — the quota is what keeps one tenant
+	// from starving the rest.
+	if err := q.admit(mkJob("other", 1, 4)); err != nil {
+		t.Fatalf("other tenant blocked by acme's quota: %v", err)
+	}
+	// Quota counts queued+running: popping does not free the slot...
+	q.pop()
+	if err := q.admit(mkJob("acme", 5, 5)); err == nil {
+		t.Fatal("popped (running) job stopped counting against quota")
+	}
+	// ...release does.
+	q.release("acme")
+	if err := q.admit(mkJob("acme", 5, 6)); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	if got := q.tenantLoad("acme"); got != 2 {
+		t.Fatalf("tenant load %d, want 2", got)
+	}
+}
+
+func TestQueueRemoveOwnership(t *testing.T) {
+	q := newQueue(16, 0)
+	a, b := mkJob("a", 5, 1), mkJob("b", 5, 2)
+	if err := q.admit(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.admit(b); err != nil {
+		t.Fatal(err)
+	}
+	if !q.remove(a) {
+		t.Fatal("remove of queued job returned false")
+	}
+	if q.remove(a) {
+		t.Fatal("second remove of same job returned true")
+	}
+	if j := q.pop(); j == nil || j.ID != "b" {
+		t.Fatalf("pop after remove: %v, want b", j)
+	}
+	if q.remove(b) {
+		t.Fatal("remove of popped job returned true — dispatcher owns it")
+	}
+}
+
+func TestQueueReleaseNegativePanics(t *testing.T) {
+	q := newQueue(16, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	q.release("ghost")
+}
+
+func TestQueueCloseDrainsAndRefuses(t *testing.T) {
+	q := newQueue(16, 0)
+	for i := int64(1); i <= 3; i++ {
+		if err := q.admit(mkJob("t", 5, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drained := q.close()
+	if len(drained) != 3 {
+		t.Fatalf("close drained %d jobs, want 3", len(drained))
+	}
+	err := q.admit(mkJob("t", 5, 9))
+	herr, ok := err.(*httpError)
+	if !ok || herr.status != http.StatusServiceUnavailable {
+		t.Fatalf("admit after close: %v, want 503", err)
+	}
+	if cur, _ := q.depth(); cur != 0 {
+		t.Fatalf("depth after close %d, want 0", cur)
+	}
+}
+
+func TestQueueMaxDepthHighWater(t *testing.T) {
+	q := newQueue(16, 0)
+	for i := int64(1); i <= 5; i++ {
+		if err := q.admit(mkJob("t", 5, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.pop()
+	q.pop()
+	cur, max := q.depth()
+	if cur != 3 || max != 5 {
+		t.Fatalf("depth (%d, %d), want (3, 5)", cur, max)
+	}
+}
+
+// FuzzSubmitScan throws arbitrary request bodies at the submit
+// endpoint: malformed input must answer 400 and nothing may panic. The
+// server is real — valid submissions render — but sized so fuzz
+// iterations stay cheap and over-budget scans bounce at admission.
+func FuzzSubmitScan(f *testing.F) {
+	s, err := New(Config{
+		Workers: 2, MaxActive: 1, QueueCapacity: 4, TenantQuota: 2,
+		StoreDir: f.TempDir(), MaxCapturesPerJob: 64, MaxSimSeconds: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := s.Handler()
+	f.Add([]byte(`{"tenant":"a","system":"i7-desktop","scan":{"f1_hz":300e3,"f2_hz":360e3,"fres_hz":500,"falt1_hz":43300,"fdelta_hz":500,"seed":1}}`))
+	f.Add([]byte(`{"tenant":"a","priority":9,"system":"i7-desktop","environment":true,"scan":{"f1_hz":1,"f2_hz":2}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{{{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"tenant":"a","system":"i7-desktop","scan":{"f1_hz":-1e308,"f2_hz":1e308,"fres_hz":1e-300,"falt1_hz":1,"fdelta_hz":1}}`))
+	f.Add([]byte(`{"tenant":"a","system":"i7-desktop","scan":{"adaptive":true,"budget":-5}}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/scans", bytes.NewReader(body))
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusAccepted, http.StatusBadRequest,
+			http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("submit answered %d for body %q", rec.Code, body)
+		}
+	})
+}

@@ -9,6 +9,7 @@
 package specan
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -97,6 +98,17 @@ type Config struct {
 	// Meter.Reserve before each Sweep call. Nil (the default) keeps the
 	// capture path meter-free.
 	Meter *Meter
+	// Statics, when non-nil (and ReuseStatic is set), is the static-layer
+	// cache this analyzer shares with others. A campaign service that
+	// renders a campaign's ladder sweeps on separate single-threaded
+	// analyzers — one per shard worker — hands all of them one cache, so
+	// cross-sweep static reuse works exactly as it does on a single shared
+	// analyzer. Nil gives the analyzer a private cache. Sharing is only
+	// meaningful between analyzers with identical geometry configuration
+	// (Fres, Averages, MaxFFT, UsableFrac, Window); cache keys carry the
+	// full capture identity, so mismatched sharing is wasteful, never
+	// incorrect.
+	Statics *StaticCache
 	// Obs, when non-nil, attaches run-level observability: per-capture
 	// render/FFT timing, plan-cache statistics, and — when Obs.Tracer is
 	// set — sweep/capture spans. A nil Obs (the default) keeps the hot
@@ -143,14 +155,9 @@ type Analyzer struct {
 	// once per capture.
 	plans sync.Map
 	// statics caches built static layers per capture identity (staticKey)
-	// when Config.ReuseStatic is set. A plain struct-keyed map behind an
-	// RWMutex rather than a sync.Map: warm lookups then neither box the key
-	// nor allocate, keeping the steady-state sweep allocation-free. Each
-	// identity holds a bucket keyed by the capture's conditional-static key
-	// (empty for sets with no conditional layer), so sweeps under different
-	// window-constant loads cache distinct sets side by side.
-	staticMu sync.RWMutex
-	statics  map[staticKey]*staticBucket
+	// when Config.ReuseStatic is set — either this analyzer's private
+	// cache or one shared through Config.Statics.
+	statics *StaticCache
 	// arena retains capture and bin buffers for the analyzer's lifetime:
 	// the process-wide bufpool can lose its contents to a garbage
 	// collection between sweeps, but a campaign's analyzer re-renders the
@@ -172,9 +179,28 @@ type staticKey struct {
 	nearGainDB float64
 }
 
+// StaticCache is a static-layer render cache, normally private to one
+// analyzer (see Config.ReuseStatic) but shareable between several via
+// Config.Statics. A plain struct-keyed map behind an RWMutex rather than
+// a sync.Map: warm lookups then neither box the key nor allocate, keeping
+// the steady-state sweep allocation-free. Each identity holds a bucket
+// keyed by the capture's conditional-static key (empty for sets with no
+// conditional layer), so sweeps under different window-constant loads
+// cache distinct sets side by side.
+type StaticCache struct {
+	mu sync.RWMutex
+	m  map[staticKey]*staticBucket
+}
+
+// NewStaticCache returns an empty cache for Config.Statics.
+func NewStaticCache() *StaticCache {
+	return &StaticCache{m: make(map[staticKey]*staticBucket)}
+}
+
 // staticEntry is one cache slot. The sync.Once serializes the build so
-// concurrent first renders of an identity (Parallelism > 1) share one
-// BuildStaticSet instead of racing duplicate work.
+// concurrent first renders of an identity (Parallelism > 1, or sibling
+// shard analyzers sharing the cache) share one BuildStaticSet instead of
+// racing duplicate work.
 type staticEntry struct {
 	once sync.Once
 	set  *emsim.StaticSet
@@ -256,16 +282,17 @@ func (a *Analyzer) staticFor(req Request, band emsim.Band, n int, seed int64, st
 		})
 		cond = kb.b
 	}
-	a.staticMu.RLock()
-	bk := a.statics[key]
-	a.staticMu.RUnlock()
+	sc := a.statics
+	sc.mu.RLock()
+	bk := sc.m[key]
+	sc.mu.RUnlock()
 	if bk == nil {
-		a.staticMu.Lock()
-		if bk = a.statics[key]; bk == nil {
+		sc.mu.Lock()
+		if bk = sc.m[key]; bk == nil {
 			bk = &staticBucket{byCond: make(map[string]*staticEntry)}
-			a.statics[key] = bk
+			sc.m[key] = bk
 		}
-		a.staticMu.Unlock()
+		sc.mu.Unlock()
 	}
 	bk.mu.RLock()
 	e := bk.byCond[string(cond)]
@@ -309,7 +336,11 @@ func New(cfg Config) *Analyzer {
 	cfg = cfg.withDefaults()
 	a := &Analyzer{cfg: cfg, sem: make(chan struct{}, cfg.Parallelism)}
 	if cfg.ReuseStatic {
-		a.statics = make(map[staticKey]*staticBucket)
+		if cfg.Statics != nil {
+			a.statics = cfg.Statics
+		} else {
+			a.statics = NewStaticCache()
+		}
 	}
 	return a
 }
@@ -361,6 +392,15 @@ func (a *Analyzer) TotalDuration(f1, f2 float64) float64 {
 type Request struct {
 	Scene  *emsim.Scene
 	F1, F2 float64
+	// Ctx, when non-nil, lets a caller abandon the sweep mid-flight: once
+	// the context is cancelled, remaining captures are skipped (not
+	// rendered, not charged to any Meter, not counted) and the sweep
+	// returns promptly. The returned spectrum is then partial garbage and
+	// MUST be discarded — cancellation is for callers (a campaign service
+	// killing a job) that throw the whole result away. A nil or
+	// never-cancelled context leaves the sweep byte-identical to one
+	// without a context.
+	Ctx context.Context
 	// Span, when active, is the trace span the sweep nests under (e.g.
 	// a campaign span). The zero value is fine: with Config.Obs tracing
 	// enabled the sweep then opens a root span of its own.
@@ -404,6 +444,18 @@ func (a *Analyzer) segGeom(p plan, f1 float64, s int) (fStart, center float64, b
 // separately (and traced under parent when a tracer is set); timing never
 // touches the sample math, so output is identical either way.
 func (a *Analyzer) renderCapture(req Request, p plan, capIdx int, out *spectral.Spectrum, parent obs.Span) {
+	// Cancelled sweeps stop paying for captures immediately: the spectrum
+	// slot stays zeroed, nothing is charged to the meter or the capture
+	// counters, and the (garbage) sweep result is discarded by the caller.
+	if req.Ctx != nil && req.Ctx.Err() != nil {
+		// Keep the slot's geometry valid so the discarded sweep can still
+		// reduce without tripping the Averager; the power stays zero.
+		_, center, _ := a.segGeom(p, req.F1, capIdx/a.cfg.Averages)
+		fres := p.fs / float64(p.nfft)
+		out.F0 = center - fres*float64(p.nfft/2)
+		out.Fres = fres
+		return
+	}
 	run := a.cfg.Obs
 	_, center, _ := a.segGeom(p, req.F1, capIdx/a.cfg.Averages)
 	band := emsim.Band{Center: center, SampleRate: p.fs}
